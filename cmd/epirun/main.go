@@ -1,0 +1,160 @@
+// Epirun executes the paper's mapped kernels on the simulated machines
+// and reports modeled execution time, per-core cycle breakdowns, and
+// traffic statistics — the tool for exploring how the implementations
+// spend their time.
+//
+// Usage:
+//
+//	epirun -kernel ffbp-par                 # 16-core SPMD FFBP
+//	epirun -kernel ffbp-par -cores 8
+//	epirun -kernel ffbp-seq                 # one Epiphany core
+//	epirun -kernel ffbp-intel               # Intel reference model
+//	epirun -kernel af-par                   # 13-core autofocus pipeline
+//	epirun -kernel af-seq | af-intel
+//	epirun -kernel ffbp-par -mesh 8x8 -cores 64
+//	epirun -small                           # reduced workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/energy"
+	"sarmany/internal/kernels"
+	"sarmany/internal/refcpu"
+	"sarmany/internal/report"
+	"sarmany/internal/sar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("epirun: ")
+
+	var (
+		kernel  = flag.String("kernel", "ffbp-par", "ffbp-par, ffbp-seq, ffbp-intel, af-par, af-seq, af-intel")
+		cores   = flag.Int("cores", 16, "cores for ffbp-par")
+		mesh    = flag.String("mesh", "4x4", "Epiphany mesh size RxC")
+		small   = flag.Bool("small", false, "reduced workload")
+		perCore = flag.Bool("percore", false, "print per-core statistics")
+		phases  = flag.Bool("phases", false, "print the per-phase timeline (SPMD kernels)")
+		power   = flag.Bool("power", false, "print the modeled energy breakdown")
+	)
+	flag.Parse()
+
+	cfg := report.Default()
+	if *small {
+		cfg = report.Small()
+	}
+	var r, c int
+	if _, err := fmt.Sscanf(*mesh, "%dx%d", &r, &c); err != nil || r < 1 || c < 1 {
+		log.Fatalf("bad mesh %q", *mesh)
+	}
+	cfg.Epiphany = cfg.Epiphany.WithMesh(r, c)
+
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	pairs := report.AutofocusWorkload(cfg)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+
+	switch *kernel {
+	case "ffbp-intel", "af-intel":
+		cpu := refcpu.New(cfg.Intel)
+		if *kernel == "ffbp-intel" {
+			if _, _, err := kernels.SeqFFBP(cpu, cpu.Mem(), data, cfg.Params, cfg.Box); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if _, err := kernels.SeqAutofocus(cpu, cpu.Mem(), pairs, shifts); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s on Intel i7 model @ %.2f GHz\n", *kernel, cpu.P.Clock/1e9)
+		fmt.Printf("  time: %.3f ms (%.0f cycles)\n", cpu.Seconds()*1e3, cpu.Cycles())
+		s := cpu.Stats
+		fmt.Printf("  ops: %d FMA, %d flop, %d iop, %d div, %d sqrt, %d trig\n",
+			s.FMA, s.Flop, s.IOp, s.Div, s.Sqrt, s.Trig)
+		total := s.Served[0] + s.Served[1] + s.Served[2] + s.Served[3]
+		if total > 0 {
+			fmt.Printf("  memory: %d accesses — L1 %.1f%%, L2 %.1f%%, L3 %.1f%%, DRAM %.1f%%\n",
+				total,
+				100*float64(s.Served[0])/float64(total),
+				100*float64(s.Served[1])/float64(total),
+				100*float64(s.Served[2])/float64(total),
+				100*float64(s.Served[3])/float64(total))
+		}
+		return
+	}
+
+	ch := emu.New(cfg.Epiphany)
+	var used int
+	switch *kernel {
+	case "ffbp-par":
+		used = *cores
+		if _, _, err := kernels.ParFFBP(ch, *cores, data, cfg.Params, cfg.Box); err != nil {
+			log.Fatal(err)
+		}
+	case "ffbp-seq":
+		used = 1
+		if _, _, err := kernels.SeqFFBP(ch.Cores[0], ch.Ext(), data, cfg.Params, cfg.Box); err != nil {
+			log.Fatal(err)
+		}
+	case "af-par":
+		used = 13
+		if _, err := kernels.ParAutofocus(ch, pairs, shifts); err != nil {
+			log.Fatal(err)
+		}
+	case "af-seq":
+		used = 1
+		if _, err := kernels.SeqAutofocus(ch.Cores[0], ch.Ext(), pairs, shifts); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	fmt.Printf("%s on Epiphany %dx%d @ %.1f GHz, %d cores used\n",
+		*kernel, cfg.Epiphany.Rows, cfg.Epiphany.Cols, cfg.Epiphany.Clock/1e9, used)
+	fmt.Printf("  time: %.3f ms (%.0f cycles)\n", ch.Time()*1e3, ch.MaxCycles())
+	t := ch.TotalStats()
+	fmt.Printf("  ops: %d FMA, %d flop, %d iop, %d div, %d sqrt, %d trig\n",
+		t.FMA, t.Flop, t.IOp, t.Div, t.Sqrt, t.Trig)
+	fmt.Printf("  local: %d loads, %d stores; remote: %d reads, %d writes (%d NoC bytes)\n",
+		t.LocalLoads, t.LocalStores, t.RemoteReads, t.RemoteWrites, t.NoCBytes)
+	fmt.Printf("  off-chip: %d reads (%d B), %d writes (%d B); %d DMA transfers (%d B)\n",
+		t.ExtReads, t.ExtReadB, t.ExtWrites, t.ExtWriteB, t.DMATransfers, t.DMABytes)
+	fmt.Printf("  cycles: %.0f compute, %.0f stalled\n", t.ComputeCycles, t.StallCycles)
+
+	if *perCore {
+		fmt.Printf("  %4s %14s %14s %14s %12s\n", "core", "cycles", "compute", "stall", "ext bytes")
+		for _, c := range ch.Cores[:used] {
+			fmt.Printf("  %4d %14.0f %14.0f %14.0f %12d\n",
+				c.ID, c.Cycles(), c.Stats.ComputeCycles, c.Stats.StallCycles,
+				c.Stats.ExtReadB+c.Stats.ExtWriteB)
+		}
+	}
+	if *phases {
+		fmt.Println("  phase timeline:")
+		ch.WritePhaseTable(os.Stdout)
+	}
+	if *power {
+		b := energy.EpiphanyBreakdown(t, ch.Time())
+		fmt.Printf("  modeled energy breakdown (avg %.2f W):\n%s", b.AveragePower(ch.Time()), b)
+	}
+	if strings.HasPrefix(*kernel, "ffbp") {
+		fmt.Printf("  (image: %d x %d pixels, %d merge iterations)\n",
+			cfg.Params.NumPulses, cfg.Params.NumBins, log2(cfg.Params.NumPulses))
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseTargets(t *testing.T) {
+	ts, err := parseTargets("0,2250,1; -120 , 2190 , 0.7 ;120,2310,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("%d targets", len(ts))
+	}
+	if ts[0].U != 0 || ts[0].Y != 2250 || ts[0].Amp != 1 {
+		t.Errorf("target 0: %+v", ts[0])
+	}
+	if ts[1].U != -120 || ts[1].Y != 2190 || ts[1].Amp != 0.7 {
+		t.Errorf("target 1: %+v", ts[1])
+	}
+}
+
+func TestParseTargetsTrailingSeparator(t *testing.T) {
+	ts, err := parseTargets("1,2,3;")
+	if err != nil || len(ts) != 1 {
+		t.Errorf("trailing separator: %v %v", ts, err)
+	}
+}
+
+func TestParseTargetsErrors(t *testing.T) {
+	for _, s := range []string{"", ";;", "1,2", "a,b,c", "1,2,3,4"} {
+		if _, err := parseTargets(s); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sarmany_test
+
+import (
+	"fmt"
+	"math"
+
+	"sarmany"
+)
+
+// ExampleFFBP forms an image from a synthetic scene and locates the
+// target in it.
+func ExampleFFBP() {
+	p := sarmany.DefaultParams()
+	p.NumPulses = 128
+	p.NumBins = 161
+	p.R0 = 500
+	box := sarmany.SceneBox{UMin: -25, UMax: 25, YMin: 510, YMax: 570, ThetaPad: 0.05}
+	tg := sarmany.Target{U: 0, Y: 540, Amp: 1}
+
+	data := sarmany.Simulate(p, []sarmany.Target{tg}, nil)
+	img, grid, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := sarmany.Magnitude(img)
+	var pr, pc int
+	var pv float32
+	for r := 0; r < m.Rows; r++ {
+		for c, v := range m.Row(r) {
+			if v > pv {
+				pr, pc, pv = r, c, v
+			}
+		}
+	}
+	wantR := int(math.Round(grid.ThetaIndex(math.Pi / 2)))
+	wantC := int(math.Round(grid.RangeIndex(540)))
+	fmt.Printf("image %dx%d; peak at target pixel: %v\n",
+		img.Rows, img.Cols, pr == wantR && pc == wantC)
+	// Output:
+	// image 128x161; peak at target pixel: true
+}
+
+// ExampleSearchCompensation recovers a known sub-pixel displacement
+// between two image blocks with the focus criterion.
+func ExampleSearchCompensation() {
+	blob := func(cc float64) sarmany.Block {
+		var b sarmany.Block
+		for r := 0; r < 6; r++ {
+			for c := 0; c < 6; c++ {
+				dr, dc := float64(r)-2.5, float64(c)-cc
+				b[r][c] = complex(float32(math.Exp(-(dr*dr+dc*dc)/3)), 0)
+			}
+		}
+		return b
+	}
+	fMinus := blob(2.5)
+	fPlus := blob(2.5 + 0.5) // displaced half a pixel in range
+
+	best, _, err := sarmany.SearchCompensation(&fMinus, &fPlus,
+		sarmany.RangeSweep(-1, 1, 17))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("compensation within an eighth pixel of truth: %v\n",
+		math.Abs(best.Shift.DRange-0.5) <= 0.130)
+	// Output:
+	// compensation within an eighth pixel of truth: true
+}
+
+// ExampleNewEpiphany runs the parallel FFBP kernel on the simulated chip
+// and reports whether the 16-core mapping beat the sequential one.
+func ExampleNewEpiphany() {
+	p := sarmany.DefaultParams()
+	p.NumPulses = 64
+	p.NumBins = 101
+	p.R0 = 500
+	box := sarmany.SceneBox{UMin: -15, UMax: 15, YMin: 510, YMax: 545, ThetaPad: 0.05}
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 0, Y: 525, Amp: 1}}, nil)
+
+	seq := sarmany.NewEpiphany(sarmany.EpiphanyE16G3())
+	seqImg, _, _ := sarmany.EpiphanySeqFFBP(seq, data, p, box)
+	par := sarmany.NewEpiphany(sarmany.EpiphanyE16G3())
+	parImg, _, _ := sarmany.EpiphanyFFBP(par, 16, data, p, box)
+
+	fmt.Printf("identical images: %v; parallel faster: %v\n",
+		seqImg.Equal(parImg), par.Time() < seq.Cores[0].Cycles()/1e9)
+	// Output:
+	// identical images: true; parallel faster: true
+}

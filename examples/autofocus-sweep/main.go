@@ -1,0 +1,62 @@
+// Autofocus-sweep: the paper's autofocus criterion in action. Two 6x6
+// image blocks are taken from the same scene, one displaced by a known
+// sub-pixel shift (the effect of an unknown flight-path error on one
+// contributing subaperture). A sweep of candidate compensations is
+// evaluated with the focus criterion (paper eq. 6); the maximum recovers
+// the displacement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"sarmany"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const truth = 0.6 // pixels of range displacement between the blocks
+
+	fMinus := blob(2.5, 2.5)
+	fPlus := blob(2.5, 2.5+truth)
+
+	candidates := sarmany.RangeSweep(-1.5, 1.5, 25)
+	best, all, err := sarmany.SearchCompensation(&fMinus, &fPlus, candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var peak float64
+	for _, r := range all {
+		if r.Score > peak {
+			peak = r.Score
+		}
+	}
+	fmt.Printf("true displacement: %+.2f px\n\n%10s  %12s\n", truth, "shift(px)", "criterion")
+	for _, r := range all {
+		fmt.Printf("%10.3f  %12.4g  %s\n", r.Shift.DRange, r.Score,
+			strings.Repeat("#", int(40*r.Score/peak)))
+	}
+	fmt.Printf("\nbest compensation: %+.3f px (error %.3f px)\n",
+		best.Shift.DRange, math.Abs(best.Shift.DRange-truth))
+}
+
+// blob samples a smooth complex Gaussian centred at (cr, cc) in block
+// pixel coordinates, with a mild phase ramp — a stand-in for a bright
+// point target in a subaperture image.
+func blob(cr, cc float64) sarmany.Block {
+	var b sarmany.Block
+	for r := 0; r < len(b); r++ {
+		for c := 0; c < len(b[r]); c++ {
+			dr := float64(r) - cr
+			dc := float64(c) - cc
+			amp := math.Exp(-(dr*dr + dc*dc) / 3)
+			phi := 0.25*dc - 0.15*dr
+			b[r][c] = complex(float32(amp*math.Cos(phi)), float32(amp*math.Sin(phi)))
+		}
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+// Focused-ffbp: image formation from data collected on a non-linear
+// flight path. The platform drifts cross-track mid-collection; plain FFBP
+// (which assumes the nominal linear track) produces a defocused image,
+// while FFBP with the integrated autofocus criterion (paper Sec. II-A)
+// estimates and applies the compensation before the final merges and
+// recovers the focus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sarmany"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := sarmany.DefaultParams()
+	p.NumPulses = 256
+	p.NumBins = 241
+	p.R0 = 500
+	box := sarmany.SceneBox{UMin: -40, UMax: 40, YMin: 510, YMax: 610, ThetaPad: 0.05}
+	targets := []sarmany.Target{{U: 0, Y: 555, Amp: 1}}
+
+	// The platform drifts 0.5 m towards the scene halfway through the
+	// collection — an error the GPS did not capture.
+	drift := func(u float64) float64 {
+		if u > 0 {
+			return 0.5
+		}
+		return 0
+	}
+	data := sarmany.Simulate(p, targets, drift)
+
+	plain, _, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	focused, _, history, err := sarmany.FocusedFFBP(data, p, box, sarmany.DefaultFocusConfig(p.NumPulses))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sp := sarmany.Sharpness(sarmany.Magnitude(plain))
+	sf := sarmany.Sharpness(sarmany.Magnitude(focused))
+	fmt.Printf("image sharpness without autofocus: %8.1f\n", sp)
+	fmt.Printf("image sharpness with autofocus:    %8.1f  (%.1fx better)\n", sf, sf/sp)
+	fmt.Printf("\ntrue relative displacement at the final merge: %.2f range pixels\n", -0.5/p.DR)
+	fmt.Println("estimated compensations (range pixels) per autofocused merge level:")
+	for i, comps := range history {
+		fmt.Printf("  level %d:", i)
+		for _, c := range comps {
+			fmt.Printf(" %+.2f", c.DRange)
+		}
+		fmt.Println()
+	}
+
+	if err := sarmany.SaveImage("defocused.png", plain, 50); err != nil {
+		log.Fatal(err)
+	}
+	if err := sarmany.SaveImage("focused.png", focused, 50); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote defocused.png and focused.png")
+}

@@ -1,0 +1,57 @@
+// Front-end: the full radar signal chain ahead of back-projection (the
+// left side of the paper's Fig. 1 block diagram). Raw chirp echoes are
+// contaminated with narrowband radio interference (the plague of
+// low-frequency SAR), cleaned with a spectral notch filter, matched-
+// filtered with a Taylor-weighted replica for low range sidelobes, and
+// finally imaged with FFBP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sarmany"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := sarmany.DefaultParams()
+	p.NumPulses = 256
+	p.NumBins = 241
+	p.R0 = 500
+	box := sarmany.SceneBox{UMin: -40, UMax: 40, YMin: 510, YMax: 610, ThetaPad: 0.05}
+	targets := []sarmany.Target{{U: 0, Y: 555, Amp: 1}, {U: -25, Y: 530, Amp: 0.7}}
+	chirp := p.DefaultChirp()
+
+	// 1. Received echoes: chirped returns plus a strong interferer.
+	raw := sarmany.SimulateRaw(p, chirp, targets, nil)
+	sarmany.InjectRFI(raw, 0.21, 2.5, 0.6)
+	fmt.Println("received raw echoes with narrowband RFI at 2.5x target amplitude")
+
+	// 2. RFI suppression.
+	n, err := sarmany.NotchFilter(raw, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("notch filter excised %d spectral bins\n", n)
+
+	// 3. Pulse compression with Taylor weighting (-35 dB range sidelobes).
+	data := sarmany.CompressWindowed(p, chirp, raw, sarmany.TaylorWindow)
+
+	// 4. Image formation and point-response analysis.
+	img, _, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sarmany.MeasurePointResponse(sarmany.Magnitude(img))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point response: range IRW %.1f px, range PSLR %.1f dB\n",
+		res.RangeIRW, res.RangePSLR)
+	if err := sarmany.SaveImage("frontend.png", img, 50); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote frontend.png")
+}

@@ -1,0 +1,49 @@
+// Realtime-sizing: the paper's motivating question — can the on-board
+// processor keep up with the radar? The platform collects an aperture of
+// data every few seconds; real-time image creation means processing it at
+// least that fast, within the airframe's power budget. This example
+// measures both machine models on the FFBP workload and sizes a
+// deployment for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sarmany"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := sarmany.SmallExperiment()
+	tab, err := sarmany.RunTable1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	req, err := sarmany.RequirementFor(cfg.Params, 120) // 120 m/s platform
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %.0f x %.0f pixels every %.2f s  ->  need %.0f px/s\n\n",
+		float64(cfg.Params.NumPulses), float64(cfg.Params.NumBins),
+		req.CollectionSeconds, req.RequiredPixelRate())
+
+	devices := []sarmany.Capability{
+		{Name: tab.FFBP[0].Impl, PixelsPerS: tab.FFBP[0].PixPerSec, Watts: tab.FFBP[0].PowerW},
+		{Name: tab.FFBP[2].Impl, PixelsPerS: tab.FFBP[2].PixPerSec, Watts: tab.FFBP[2].PowerW},
+	}
+	plans, err := sarmany.SizeDeployment(req, devices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %12s %8s %9s %10s\n", "device", "px/s", "margin", "devices", "power")
+	for _, p := range plans {
+		fmt.Printf("%-28s %12.0f %7.1fx %9d %9.1fW\n",
+			p.Device.Name, p.Device.PixelsPerS, p.Margin, p.DevicesNeeded, p.SystemWatts)
+	}
+	fmt.Println("\nBoth meet real time here; the Epiphany does it at a fraction of")
+	fmt.Println("the power — the paper's energy-efficiency argument as a deployment")
+	fmt.Println("decision.")
+}

@@ -1,0 +1,3 @@
+module sarmany
+
+go 1.22

@@ -1,0 +1,184 @@
+// Package autofocus implements the autofocus criterion calculation of the
+// paper's compute-intensive case study (Sec. II-A). When GPS positioning is
+// insufficient, the flight-path compensation applied before each FFBP
+// subaperture merge is estimated from the image data itself: several
+// candidate compensations are tried, and for each the two contributing
+// subaperture images are compared with a focus criterion — maximization of
+// the correlation of image intensities (paper eq. 6):
+//
+//	criterion = sum |f-(r, fi)|^2 * |f+(r, fi)|^2
+//
+// The images to correlate are small subimages (6x6 pixel blocks), and a
+// path error is approximated as a linear shift of one block relative to the
+// other. Evaluating the criterion for a trial shift requires resampling the
+// blocks at shifted, possibly tilted positions: cubic interpolation based
+// on Neville's algorithm is performed in the range direction, then in the
+// beam direction (paper Fig. 8), and the interpolated subimages are
+// correlated and summed. Three iterations of the
+// range-interpolation/beam-interpolation/correlation/summation pipeline
+// cover the whole 6x6 block.
+package autofocus
+
+import (
+	"fmt"
+	"math"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+)
+
+const (
+	// BlockSize is the side of the image blocks the criterion operates on.
+	BlockSize = 6
+	// InterpSize is the side of the interpolated subimage: cubic
+	// interpolation consumes 4 taps, so a 6-sample row yields 3 sliding
+	// windows, and likewise in the beam direction.
+	InterpSize = BlockSize - interp.CubicTaps + 1
+)
+
+// Shift is a trial flight-path compensation expressed as the resulting
+// linear displacement of the image block, in pixels: DRange along the range
+// (column) axis and DBeam along the beam (row) axis. Tilt adds a range
+// displacement proportional to the row index, making the sampling paths
+// tilted lines through memory (paper: "the interpolation kernels are swept
+// along tilted paths in memory").
+// Shifts are meaningful within the support of the 4-tap interpolation
+// window, roughly |DRange|, |DBeam| <= 1.5 pixels; larger trial shifts
+// extrapolate the cubic polynomial and produce unbounded criterion values.
+// Larger path errors are handled in FFBP by applying autofocus at every
+// merge level, where each level's residual error is sub-pixel.
+type Shift struct {
+	DRange, DBeam float64
+	Tilt          float64
+}
+
+// Block is one 6x6 pixel block extracted from a subaperture image.
+type Block [BlockSize][BlockSize]complex64
+
+// BlockFrom copies the 6x6 region of img whose top-left corner is (r0, c0).
+func BlockFrom(img *mat.C, r0, c0 int) (Block, error) {
+	var b Block
+	if r0 < 0 || c0 < 0 || r0+BlockSize > img.Rows || c0+BlockSize > img.Cols {
+		return b, fmt.Errorf("autofocus: block at (%d,%d) outside %dx%d image", r0, c0, img.Rows, img.Cols)
+	}
+	for r := 0; r < BlockSize; r++ {
+		copy(b[r][:], img.Row(r0 + r)[c0:c0+BlockSize])
+	}
+	return b, nil
+}
+
+// Interpolated is the 3x3 resampled subimage produced by the range and
+// beam interpolation stages.
+type Interpolated [InterpSize][InterpSize]complex64
+
+// rangeStage performs the range (within-row) cubic interpolation of the
+// dataflow diagram: for each of the 6 rows, the three sliding 4-column
+// windows are each interpolated at their centre plus the shift offset for
+// that row. Row r's offset is s.DRange + s.Tilt*r, which sweeps the kernel
+// along a tilted path.
+func rangeStage(b *Block, s Shift) (out [BlockSize][InterpSize]complex64) {
+	for r := 0; r < BlockSize; r++ {
+		off := s.DRange + s.Tilt*float64(r)
+		for j := 0; j < InterpSize; j++ {
+			var taps [4]complex64
+			copy(taps[:], b[r][j:j+4])
+			out[r][j] = interp.Neville4(taps, float32(1.5+off))
+		}
+	}
+	return out
+}
+
+// beamStage performs the beam (across-row) cubic interpolation on the
+// range-interpolated data: for each of the 3 columns, the three sliding
+// 4-row windows are interpolated at their centre plus the beam shift. Each
+// window is one "iteration" of the paper's three-iteration pipeline.
+func beamStage(in *[BlockSize][InterpSize]complex64, s Shift) (out Interpolated) {
+	for i := 0; i < InterpSize; i++ { // iteration = output row
+		for j := 0; j < InterpSize; j++ {
+			taps := [4]complex64{in[i][j], in[i+1][j], in[i+2][j], in[i+3][j]}
+			out[i][j] = interp.Neville4(taps, float32(1.5+s.DBeam))
+		}
+	}
+	return out
+}
+
+// Resample applies the full two-stage cubic interpolation to a block under
+// a trial shift.
+func Resample(b *Block, s Shift) Interpolated {
+	r := rangeStage(b, s)
+	return beamStage(&r, s)
+}
+
+// Correlate evaluates the focus criterion (paper eq. 6) on two
+// interpolated subimages: the sum over all pixels of |a|^2 * |b|^2.
+func Correlate(a, b *Interpolated) float64 {
+	var sum float64
+	for i := 0; i < InterpSize; i++ {
+		for j := 0; j < InterpSize; j++ {
+			sum += float64(cf.Abs2(a[i][j])) * float64(cf.Abs2(b[i][j]))
+		}
+	}
+	return sum
+}
+
+// Criterion computes the focus criterion for the block pair under a trial
+// shift: fMinus is resampled at nominal positions, fPlus at positions
+// displaced by s, and the results are correlated. Higher is better focused.
+func Criterion(fMinus, fPlus *Block, s Shift) float64 {
+	a := Resample(fMinus, Shift{})
+	b := Resample(fPlus, s)
+	return Correlate(&a, &b)
+}
+
+// Result records one evaluated candidate of a compensation search.
+type Result struct {
+	Shift Shift
+	Score float64
+}
+
+// Search evaluates the criterion for every candidate shift and returns the
+// best candidate together with all scores. It returns an error if no
+// candidates are given.
+func Search(fMinus, fPlus *Block, candidates []Shift) (Result, []Result, error) {
+	if len(candidates) == 0 {
+		return Result{}, nil, fmt.Errorf("autofocus: no candidate shifts")
+	}
+	// The reference block is shift-independent: resample it once.
+	a := Resample(fMinus, Shift{})
+	all := make([]Result, len(candidates))
+	best := Result{Score: math.Inf(-1)}
+	for i, s := range candidates {
+		b := Resample(fPlus, s)
+		r := Result{Shift: s, Score: Correlate(&a, &b)}
+		all[i] = r
+		if r.Score > best.Score {
+			best = r
+		}
+	}
+	return best, all, nil
+}
+
+// RangeSweep returns n candidate shifts with DRange evenly spaced in
+// [lo, hi] and zero beam shift and tilt — the one-dimensional compensation
+// sweep used when a path error projects mainly onto the range axis.
+func RangeSweep(lo, hi float64, n int) []Shift {
+	if n < 1 {
+		return nil
+	}
+	out := make([]Shift, n)
+	if n == 1 {
+		out[0] = Shift{DRange: (lo + hi) / 2}
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = Shift{DRange: lo + float64(i)*step}
+	}
+	return out
+}
+
+// PixelsProcessed returns the number of input pixels a criterion
+// evaluation consumes, the unit of the paper's pixels/second throughput
+// numbers: two 6x6 blocks.
+func PixelsProcessed() int { return 2 * BlockSize * BlockSize }

@@ -1,0 +1,226 @@
+package autofocus
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/mat"
+)
+
+// gaussianBlock samples a smooth complex blob centred at (cr, cc) in block
+// pixel coordinates, with a linear phase ramp so that both magnitude and
+// phase carry position information.
+func gaussianBlock(cr, cc float64) *Block {
+	var b Block
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			dr := float64(r) - cr
+			dc := float64(c) - cc
+			amp := math.Exp(-(dr*dr + dc*dc) / 3)
+			b[r][c] = cf.Scale(float32(amp), cf.Expi(float32(0.3*dc-0.2*dr)))
+		}
+	}
+	return &b
+}
+
+func TestBlockFrom(t *testing.T) {
+	img := mat.NewC(10, 12)
+	for r := 0; r < 10; r++ {
+		for c := 0; c < 12; c++ {
+			img.Set(r, c, complex(float32(r), float32(c)))
+		}
+	}
+	b, err := BlockFrom(img, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0][0] != complex(2, 3) || b[5][5] != complex(7, 8) {
+		t.Errorf("block contents wrong: %v %v", b[0][0], b[5][5])
+	}
+	if _, err := BlockFrom(img, 5, 7); err == nil {
+		t.Error("out-of-range block not rejected")
+	}
+	if _, err := BlockFrom(img, -1, 0); err == nil {
+		t.Error("negative origin not rejected")
+	}
+}
+
+func TestResampleIdentityOnPolynomial(t *testing.T) {
+	// A field that is cubic in each coordinate is reproduced exactly by
+	// the two-stage Neville interpolation at zero shift, sampled at the
+	// window centres (1.5 + output index offsets... centre positions are
+	// row/col 1.5, 2.5, 3.5).
+	var b Block
+	f := func(r, c float64) complex64 {
+		return complex(float32(r*r-2*c+r*c), float32(c*c*c/10-r))
+	}
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			b[r][c] = f(float64(r), float64(c))
+		}
+	}
+	got := Resample(&b, Shift{})
+	for i := 0; i < InterpSize; i++ {
+		for j := 0; j < InterpSize; j++ {
+			want := f(float64(i)+1.5, float64(j)+1.5)
+			if cAbs(got[i][j]-want) > 1e-3 {
+				t.Errorf("(%d,%d): got %v want %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestResampleShiftMovesSamplingPoint(t *testing.T) {
+	var b Block
+	f := func(r, c float64) complex64 {
+		return complex(float32(2*r+3*c), float32(r-c))
+	}
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			b[r][c] = f(float64(r), float64(c))
+		}
+	}
+	s := Shift{DRange: 0.4, DBeam: -0.3}
+	got := Resample(&b, s)
+	for i := 0; i < InterpSize; i++ {
+		for j := 0; j < InterpSize; j++ {
+			want := f(float64(i)+1.5+s.DBeam, float64(j)+1.5+s.DRange)
+			if cAbs(got[i][j]-want) > 1e-3 {
+				t.Errorf("(%d,%d): got %v want %v", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestResampleTiltedPath(t *testing.T) {
+	// With tilt, row r samples at column offset DRange + Tilt*r.
+	var b Block
+	f := func(r, c float64) complex64 { return complex(float32(c), float32(r)) }
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			b[r][c] = f(float64(r), float64(c))
+		}
+	}
+	s := Shift{DRange: 0.2, Tilt: 0.1}
+	r := rangeStage(&b, s)
+	for row := 0; row < BlockSize; row++ {
+		for j := 0; j < InterpSize; j++ {
+			wantCol := float64(j) + 1.5 + 0.2 + 0.1*float64(row)
+			if math.Abs(float64(real(r[row][j]))-wantCol) > 1e-4 {
+				t.Errorf("row %d win %d: col %v want %v", row, j, real(r[row][j]), wantCol)
+			}
+		}
+	}
+}
+
+func TestCorrelateMatchesDefinition(t *testing.T) {
+	var a, b Interpolated
+	a[0][0] = complex(2, 0)  // |a|^2 = 4
+	b[0][0] = complex(0, 3)  // |b|^2 = 9
+	a[2][1] = complex(1, 1)  // 2
+	b[2][1] = complex(2, -1) // 5
+	got := Correlate(&a, &b)
+	want := 4.0*9.0 + 2.0*5.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Correlate = %v, want %v", got, want)
+	}
+}
+
+func TestCriterionPeaksAtTrueShift(t *testing.T) {
+	// fPlus is the same scene displaced by a known shift; the criterion
+	// over a sweep of candidates must peak at the compensating shift.
+	trueShift := 0.7 // fPlus content displaced +0.7 columns
+	fMinus := gaussianBlock(2.5, 2.5)
+	fPlus := gaussianBlock(2.5, 2.5+trueShift)
+	cands := RangeSweep(-1.5, 1.5, 31)
+	best, all, err := Search(fMinus, fPlus, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 31 {
+		t.Fatalf("got %d results", len(all))
+	}
+	// Compensation samples fPlus at +DRange; content moved +0.7, so the
+	// best compensation is +0.7.
+	if math.Abs(best.Shift.DRange-trueShift) > 0.11 {
+		t.Errorf("best shift %v, want ~%v", best.Shift.DRange, trueShift)
+	}
+	// The criterion at the truth must beat a far-off candidate clearly.
+	var atTruth, far float64
+	for _, r := range all {
+		if math.Abs(r.Shift.DRange-trueShift) < 0.06 {
+			atTruth = r.Score
+		}
+		if math.Abs(r.Shift.DRange+1.5) < 1e-9 {
+			far = r.Score
+		}
+	}
+	if atTruth <= far {
+		t.Errorf("criterion at truth %v not above far candidate %v", atTruth, far)
+	}
+}
+
+func TestCriterionBeamShift(t *testing.T) {
+	trueBeam := -0.5
+	fMinus := gaussianBlock(2.5, 2.5)
+	fPlus := gaussianBlock(2.5+trueBeam, 2.5)
+	var cands []Shift
+	for db := -1.0; db <= 1.0; db += 0.1 {
+		cands = append(cands, Shift{DBeam: db})
+	}
+	best, _, err := Search(fMinus, fPlus, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Shift.DBeam-trueBeam) > 0.15 {
+		t.Errorf("best beam shift %v, want ~%v", best.Shift.DBeam, trueBeam)
+	}
+}
+
+func TestSearchNoCandidates(t *testing.T) {
+	b := gaussianBlock(2.5, 2.5)
+	if _, _, err := Search(b, b, nil); err == nil {
+		t.Error("expected error for empty candidate list")
+	}
+}
+
+func TestRangeSweep(t *testing.T) {
+	s := RangeSweep(-1, 1, 5)
+	if len(s) != 5 {
+		t.Fatalf("len %d", len(s))
+	}
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i, v := range want {
+		if math.Abs(s[i].DRange-v) > 1e-12 {
+			t.Errorf("sweep[%d] = %v, want %v", i, s[i].DRange, v)
+		}
+	}
+	if one := RangeSweep(-2, 4, 1); len(one) != 1 || one[0].DRange != 1 {
+		t.Errorf("single-candidate sweep %v", one)
+	}
+	if RangeSweep(0, 1, 0) != nil {
+		t.Error("n=0 sweep should be nil")
+	}
+}
+
+func TestPixelsProcessed(t *testing.T) {
+	if PixelsProcessed() != 72 {
+		t.Errorf("PixelsProcessed = %d, want 72", PixelsProcessed())
+	}
+}
+
+func cAbs(z complex64) float64 {
+	return math.Hypot(float64(real(z)), float64(imag(z)))
+}
+
+func BenchmarkCriterion(b *testing.B) {
+	fMinus := gaussianBlock(2.5, 2.5)
+	fPlus := gaussianBlock(2.5, 3.1)
+	s := Shift{DRange: 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Criterion(fMinus, fPlus, s)
+	}
+}

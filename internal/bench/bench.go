@@ -1,0 +1,536 @@
+// Package bench contains the experiment drivers behind cmd/benchtab and
+// the top-level benchmark suite: each function reruns one paper artifact
+// (Table I, Fig. 7, or one of the DESIGN.md ablations) and writes a
+// human-readable result table.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/ffbp"
+	"sarmany/internal/gbp"
+	"sarmany/internal/geom"
+	"sarmany/internal/imageio"
+	"sarmany/internal/interp"
+	"sarmany/internal/kernels"
+	"sarmany/internal/mat"
+	"sarmany/internal/quality"
+	"sarmany/internal/rda"
+	"sarmany/internal/refcpu"
+	"sarmany/internal/report"
+	"sarmany/internal/sar"
+)
+
+// Table1 reruns the paper's Table I and the Sec. VI-A energy ratios.
+func Table1(w io.Writer, cfg report.Config) error {
+	t, err := report.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig7Result carries the quality metrics of the Fig. 7 comparison.
+type Fig7Result struct {
+	// GBPSharpness and FFBPSharpness quantify "the FFBP processed images
+	// have a lower quality as compared to the GBP processed image".
+	GBPSharpness, FFBPSharpness float64
+	// CrossCorr is the GBP-vs-FFBP magnitude correlation.
+	CrossCorr float64
+	// IntelEpiphanyCorr compares the FFBP images from the reference-CPU
+	// and Epiphany implementations ("similar in quality"; in this
+	// reproduction both run the same arithmetic, so it is 1.0 exactly).
+	IntelEpiphanyCorr float64
+}
+
+// Figure7 regenerates the paper's Fig. 7 image set into dir: (a) the
+// pulse-compressed raw data, (b) the GBP image, (c) the FFBP image from
+// the Intel-reference implementation, and (d) the FFBP image from the
+// parallel Epiphany implementation, plus quality metrics.
+func Figure7(w io.Writer, cfg report.Config, dir string) (err error) {
+	res, imgs, err := RunFigure7(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := []string{"fig7a_raw.png", "fig7b_gbp.png", "fig7c_ffbp_intel.png", "fig7d_ffbp_epiphany.png"}
+	for i, img := range imgs {
+		if err := imageio.Save(filepath.Join(dir, names[i]), img, 50); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "wrote %s\n", dir)
+	fmt.Fprintf(w, "sharpness: GBP %.1f, FFBP %.1f (GBP sharper: %v)\n",
+		res.GBPSharpness, res.FFBPSharpness, res.GBPSharpness > res.FFBPSharpness)
+	fmt.Fprintf(w, "GBP vs FFBP magnitude correlation: %.3f\n", res.CrossCorr)
+	fmt.Fprintf(w, "Intel vs Epiphany FFBP correlation: %.3f\n", res.IntelEpiphanyCorr)
+	return nil
+}
+
+// RunFigure7 computes the Fig. 7 images and metrics without touching the
+// filesystem. The returned images are raw data, GBP, FFBP (reference CPU
+// implementation), FFBP (Epiphany implementation).
+func RunFigure7(cfg report.Config) (Fig7Result, [4]*mat.C, error) {
+	var out [4]*mat.C
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	out[0] = data.Clone()
+
+	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
+	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
+	out[1] = gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear})
+
+	// The host FFBP with nearest-neighbour interpolation is arithmetically
+	// identical to the kernels the machine models run, so it stands in for
+	// the Intel image.
+	fi, _, err := ffbp.Image(data, cfg.Params, cfg.Box, ffbp.Config{Interp: interp.Nearest})
+	if err != nil {
+		return Fig7Result{}, out, err
+	}
+	out[2] = fi
+
+	ch := emu.New(cfg.Epiphany)
+	fe, _, err := kernels.ParFFBP(ch, cfg.FFBPCores, data, cfg.Params, cfg.Box)
+	if err != nil {
+		return Fig7Result{}, out, err
+	}
+	out[3] = fe
+
+	mg := quality.Mag(out[1])
+	mi := quality.Mag(out[2])
+	me := quality.Mag(out[3])
+	return Fig7Result{
+		GBPSharpness:      quality.Sharpness(mg),
+		FFBPSharpness:     quality.Sharpness(mi),
+		CrossCorr:         quality.NormCorr(mg, mi),
+		IntelEpiphanyCorr: quality.NormCorr(mi, me),
+	}, out, nil
+}
+
+// ScalingPoint is one core-count measurement of the FFBP scaling sweep.
+type ScalingPoint struct {
+	Cores   int
+	Seconds float64
+	Speedup float64 // vs 1 core of the same sweep
+}
+
+// RunScaling measures parallel FFBP execution time across core counts on
+// the (possibly enlarged) Epiphany mesh — the ablation behind the paper's
+// closing remark that 64-core devices are now available.
+func RunScaling(cfg report.Config, coreCounts []int) ([]ScalingPoint, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	out := make([]ScalingPoint, 0, len(coreCounts))
+	var base float64
+	for _, n := range coreCounts {
+		p := cfg.Epiphany
+		for p.NumCores() < n {
+			p = p.WithMesh(p.Rows*2, p.Cols) // grow the mesh as needed
+		}
+		ch := emu.New(p)
+		if _, _, err := kernels.ParFFBP(ch, n, data, cfg.Params, cfg.Box); err != nil {
+			return nil, err
+		}
+		sec := ch.Time()
+		if len(out) == 0 {
+			base = sec
+		}
+		out = append(out, ScalingPoint{Cores: n, Seconds: sec, Speedup: base / sec})
+	}
+	return out, nil
+}
+
+// Scaling runs RunScaling over 1..64 cores and prints the series.
+func Scaling(w io.Writer, cfg report.Config) error {
+	points, err := RunScaling(cfg, []int{1, 2, 4, 8, 16, 32, 64})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %12s %9s\n", "cores", "time (ms)", "speedup")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%6d %12.1f %9.2f\n", pt.Cores, pt.Seconds*1e3, pt.Speedup)
+	}
+	return nil
+}
+
+// BandwidthPoint is one off-chip-bandwidth measurement.
+type BandwidthPoint struct {
+	BytesPerCycle float64
+	FFBPSeconds   float64
+	AFSeconds     float64
+}
+
+// RunBandwidth sweeps the effective off-chip bandwidth and measures both
+// parallel implementations, demonstrating the paper's Sec. VI argument:
+// the streaming autofocus pipeline is insensitive to off-chip bandwidth
+// (its intermediate data never leaves the mesh), while FFBP is bound by
+// it.
+func RunBandwidth(cfg report.Config, factors []float64) ([]BandwidthPoint, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	pairs := report.AutofocusWorkload(cfg)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+	out := make([]BandwidthPoint, 0, len(factors))
+	for _, f := range factors {
+		p := cfg.Epiphany
+		p.ExtBytesPerCycle = cfg.Epiphany.ExtBytesPerCycle * f
+		chF := emu.New(p)
+		if _, _, err := kernels.ParFFBP(chF, cfg.FFBPCores, data, cfg.Params, cfg.Box); err != nil {
+			return nil, err
+		}
+		chA := emu.New(p)
+		if _, err := kernels.ParAutofocus(chA, pairs, shifts); err != nil {
+			return nil, err
+		}
+		out = append(out, BandwidthPoint{
+			BytesPerCycle: p.ExtBytesPerCycle,
+			FFBPSeconds:   chF.Time(),
+			AFSeconds:     chA.Time(),
+		})
+	}
+	return out, nil
+}
+
+// Bandwidth runs RunBandwidth over a 16x range and prints the series.
+func Bandwidth(w io.Writer, cfg report.Config) error {
+	points, err := RunBandwidth(cfg, []float64{0.25, 0.5, 1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%14s %14s %14s\n", "bytes/cycle", "FFBP (ms)", "autofocus (ms)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%14.3f %14.1f %14.1f\n", pt.BytesPerCycle, pt.FFBPSeconds*1e3, pt.AFSeconds*1e3)
+	}
+	return nil
+}
+
+// PipelinePoint is one autofocus pipeline-replication measurement.
+type PipelinePoint struct {
+	Pipelines int
+	Seconds   float64
+	Speedup   float64
+}
+
+// RunPipelines measures the multi-pipeline autofocus throughput on the
+// 64-core device: the paper's MPMD mapping replicated 1..4 times, with the
+// block-pair stream split across replicas. Because the pipeline's
+// intermediate data stays on-chip, throughput scales nearly linearly —
+// the contrast to FFBP's bandwidth-bound scaling.
+func RunPipelines(cfg report.Config, counts []int) ([]PipelinePoint, error) {
+	pairs := report.AutofocusWorkload(cfg)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+	var out []PipelinePoint
+	var base float64
+	for _, n := range counts {
+		ch := emu.New(emu.E64())
+		if _, err := kernels.ParAutofocusMulti(ch, n, pairs, shifts); err != nil {
+			return nil, err
+		}
+		sec := ch.Time()
+		if len(out) == 0 {
+			base = sec
+		}
+		out = append(out, PipelinePoint{Pipelines: n, Seconds: sec, Speedup: base / sec})
+	}
+	return out, nil
+}
+
+// Pipelines runs RunPipelines over 1..4 replicas and prints the series.
+func Pipelines(w io.Writer, cfg report.Config) error {
+	points, err := RunPipelines(cfg, []int{1, 2, 3, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %12s %9s\n", "pipelines", "time (ms)", "speedup")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%10d %12.3f %9.2f\n", pt.Pipelines, pt.Seconds*1e3, pt.Speedup)
+	}
+	return nil
+}
+
+// RunGBPvsFFBP compares the modeled times of exact GBP and FFBP on the
+// reference CPU over dense data — the complexity gap that motivates the
+// factorized algorithm. It returns (gbpSeconds, ffbpSeconds).
+func RunGBPvsFFBP(cfg report.Config) (float64, float64, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	sar.AddNoise(data, 0.05, 11) // dense scene: no zero-skip shortcut
+	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
+	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
+
+	cpuG := refcpu.New(cfg.Intel)
+	if _, err := kernels.SeqGBP(cpuG, cpuG.Mem(), data, cfg.Params, grid); err != nil {
+		return 0, 0, err
+	}
+	cpuF := refcpu.New(cfg.Intel)
+	if _, _, err := kernels.SeqFFBP(cpuF, cpuF.Mem(), data, cfg.Params, cfg.Box); err != nil {
+		return 0, 0, err
+	}
+	return cpuG.Seconds(), cpuF.Seconds(), nil
+}
+
+// GBPvsFFBP runs RunGBPvsFFBP and prints the comparison.
+func GBPvsFFBP(w io.Writer, cfg report.Config) error {
+	g, f, err := RunGBPvsFFBP(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "GBP  (exact):      %10.1f ms\n", g*1e3)
+	fmt.Fprintf(w, "FFBP (factorized): %10.1f ms  -> %.1fx faster\n", f*1e3, g/f)
+	return nil
+}
+
+// BasePoint is one factorization-base measurement.
+type BasePoint struct {
+	Base      int
+	Levels    int
+	Sharpness float64
+	GBPCorr   float64
+	HostMS    float64
+}
+
+// RunBases compares factorization bases (with nearest-neighbour
+// interpolation, the paper's choice): higher bases do fewer merge levels,
+// so the simplified interpolation's noise accumulates less — at the price
+// of more child lookups per level. Requires cfg.Params.NumPulses to be a
+// power of every base given.
+func RunBases(cfg report.Config, bases []int) ([]BasePoint, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
+	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
+	ref := quality.Mag(gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear}))
+	var out []BasePoint
+	for _, k := range bases {
+		start := time.Now()
+		img, _, err := ffbp.ImageK(data, cfg.Params, cfg.Box, ffbp.Config{Interp: interp.Nearest}, k)
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Milliseconds())
+		m := quality.Mag(img)
+		levels := 0
+		for n := cfg.Params.NumPulses; n > 1; n /= k {
+			levels++
+		}
+		out = append(out, BasePoint{
+			Base: k, Levels: levels,
+			Sharpness: quality.Sharpness(m),
+			GBPCorr:   quality.NormCorr(ref, m),
+			HostMS:    ms,
+		})
+	}
+	return out, nil
+}
+
+// Bases runs RunBases over bases 2 and 4 and prints the series.
+func Bases(w io.Writer, cfg report.Config) error {
+	points, err := RunBases(cfg, []int{2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %8s %12s %10s %12s\n", "base", "levels", "sharpness", "GBP corr", "host ms")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%6d %8d %12.1f %10.3f %12.0f\n", pt.Base, pt.Levels, pt.Sharpness, pt.GBPCorr, pt.HostMS)
+	}
+	return nil
+}
+
+// MotivationResult carries the frequency-vs-time-domain comparison.
+type MotivationResult struct {
+	// Kept fractions of coherent gain under a non-linear flight path,
+	// relative to each algorithm's linear-track gain.
+	RDAKept, FocusedFFBPKept, MocompRDAKept float64
+}
+
+// RunMotivation reruns the paper's Sec. I argument: under a flight-path
+// error, the straight-track-only frequency-domain processor (RDA) loses
+// coherent gain it cannot recover, while the time-domain chain
+// compensates — blindly (FFBP + autofocus) or exactly (known-path motion
+// compensation). The experiment uses its own fixed geometry (a 256-pulse
+// aperture, a cross-track step of ~lambda/10): large enough to visibly
+// decorrelate the straight-track reference, still within the autofocus
+// compensation window.
+func RunMotivation(cfg report.Config) (MotivationResult, error) {
+	p := cfg.Params
+	p.NumPulses = 256
+	p.NumBins = 241
+	p.R0 = 500
+	cfg.Box = report.DefaultBox(p)
+	tg := sar.Target{U: 0, Y: p.CenterRange(), Amp: 1}
+	wr, wc := rda.TargetPixel(p, tg)
+	gainRDA := func(data *mat.C) (float64, error) {
+		img, err := rda.Image(data, p, rda.Config{RCMC: interp.Linear})
+		if err != nil {
+			return 0, err
+		}
+		_, _, pk := quality.PeakWithin(quality.Mag(img), wr, wc, 8)
+		return float64(pk), nil
+	}
+	gainFFBP := func(data *mat.C, focused bool) (float64, error) {
+		var img *mat.C
+		var grid geom.PolarGrid
+		var err error
+		if focused {
+			img, grid, _, err = ffbp.FocusedImage(data, p, cfg.Box, ffbp.DefaultFocusConfig(p.NumPulses))
+		} else {
+			img, grid, err = ffbp.Image(data, p, cfg.Box, ffbp.Config{Interp: interp.Cubic})
+		}
+		if err != nil {
+			return 0, err
+		}
+		fr := int(math.Round(grid.ThetaIndex(math.Atan2(tg.Y, tg.U))))
+		fc := int(math.Round(grid.RangeIndex(math.Hypot(tg.U, tg.Y))))
+		_, _, pk := quality.PeakWithin(quality.Mag(img), fr, fc, 8)
+		return float64(pk), nil
+	}
+
+	clean := sar.Simulate(p, []sar.Target{tg}, nil)
+	drift := func(u float64) float64 {
+		if u > 0 {
+			return 0.75
+		}
+		return 0
+	}
+	dirty := sar.Simulate(p, []sar.Target{tg}, drift)
+
+	rdaClean, err := gainRDA(clean)
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	ffbpClean, err := gainFFBP(clean, false)
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	rdaDirty, err := gainRDA(dirty)
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	focDirty, err := gainFFBP(dirty, true)
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	mocDirty, err := gainRDA(sar.MotionCompensate(dirty, p, drift))
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	return MotivationResult{
+		RDAKept:         rdaDirty / rdaClean,
+		FocusedFFBPKept: focDirty / ffbpClean,
+		MocompRDAKept:   mocDirty / rdaClean,
+	}, nil
+}
+
+// Motivation runs RunMotivation and prints the comparison.
+func Motivation(w io.Writer, cfg report.Config) error {
+	r, err := RunMotivation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "coherent gain kept under a non-linear flight path:\n")
+	fmt.Fprintf(w, "  RDA (straight-track reference):   %5.2f\n", r.RDAKept)
+	fmt.Fprintf(w, "  FFBP + autofocus (blind):         %5.2f\n", r.FocusedFFBPKept)
+	fmt.Fprintf(w, "  RDA after motion compensation:    %5.2f\n", r.MocompRDAKept)
+	return nil
+}
+
+// InterpPoint is one interpolation-kernel quality measurement.
+type InterpPoint struct {
+	Kind      interp.Kind
+	Sharpness float64
+	GBPCorr   float64
+}
+
+// RunInterp measures FFBP image quality against the GBP reference for
+// each interpolation kernel — quantifying the paper's note that FFBP
+// quality "could be considerably improved by using more complex
+// interpolation kernels such as cubic interpolation".
+func RunInterp(cfg report.Config) ([]InterpPoint, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
+	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
+	ref := quality.Mag(gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear}))
+	var out []InterpPoint
+	for _, k := range []interp.Kind{interp.Nearest, interp.Linear, interp.Cubic, interp.Sinc8} {
+		img, _, err := ffbp.Image(data, cfg.Params, cfg.Box, ffbp.Config{Interp: k})
+		if err != nil {
+			return nil, err
+		}
+		m := quality.Mag(img)
+		out = append(out, InterpPoint{
+			Kind:      k,
+			Sharpness: quality.Sharpness(m),
+			GBPCorr:   quality.NormCorr(ref, m),
+		})
+	}
+	return out, nil
+}
+
+// UpsamplePoint is one range-oversampling measurement.
+type UpsamplePoint struct {
+	Factor    int
+	Sharpness float64
+	PeakGain  float64 // image peak relative to factor 1
+}
+
+// RunUpsample measures nearest-neighbour FFBP quality against the range
+// oversampling factor — the standard countermeasure (used by the related
+// Lidberg et al. implementation) to the interpolation noise the paper
+// discusses, bought with proportionally more memory and bandwidth.
+func RunUpsample(cfg report.Config, factors []int) ([]UpsamplePoint, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	var out []UpsamplePoint
+	var base float64
+	for _, f := range factors {
+		up, q, err := sar.UpsampleRange(data, cfg.Params, f)
+		if err != nil {
+			return nil, err
+		}
+		img, _, err := ffbp.Image(up, q, cfg.Box, ffbp.Config{Interp: interp.Nearest})
+		if err != nil {
+			return nil, err
+		}
+		m := quality.Mag(img)
+		_, _, pk := quality.Peak(m)
+		if len(out) == 0 {
+			base = float64(pk)
+		}
+		out = append(out, UpsamplePoint{
+			Factor:    f,
+			Sharpness: quality.Sharpness(m),
+			PeakGain:  float64(pk) / base,
+		})
+	}
+	return out, nil
+}
+
+// Upsample runs RunUpsample over factors 1, 2, 4 and prints the series.
+func Upsample(w io.Writer, cfg report.Config) error {
+	points, err := RunUpsample(cfg, []int{1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %12s %12s\n", "factor", "sharpness", "peak gain")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%8d %12.1f %12.2f\n", pt.Factor, pt.Sharpness, pt.PeakGain)
+	}
+	return nil
+}
+
+// Interp runs RunInterp and prints the series.
+func Interp(w io.Writer, cfg report.Config) error {
+	points, err := RunInterp(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %12s %12s\n", "kernel", "sharpness", "GBP corr")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%10s %12.1f %12.3f\n", pt.Kind, pt.Sharpness, pt.GBPCorr)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbs2(t *testing.T) {
+	cases := []struct {
+		z    complex64
+		want float32
+	}{
+		{0, 0},
+		{complex(3, 4), 25},
+		{complex(-3, 4), 25},
+		{complex(0, -2), 4},
+		{complex(1, 0), 1},
+	}
+	for _, c := range cases {
+		if got := Abs2(c.z); got != c.want {
+			t.Errorf("Abs2(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestAbsMatchesAbs2(t *testing.T) {
+	err := quick.Check(func(re, im float32) bool {
+		if math.IsNaN(float64(re)) || math.IsNaN(float64(im)) {
+			return true
+		}
+		// Keep magnitudes sane to avoid float32 overflow in Abs2.
+		re = float32(math.Mod(float64(re), 1e6))
+		im = float32(math.Mod(float64(im), 1e6))
+		z := complex(re, im)
+		a := float64(Abs(z))
+		b := math.Sqrt(float64(Abs2(z)))
+		return math.Abs(a-b) <= 1e-3*(1+a)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAdd(t *testing.T) {
+	a := complex64(complex(1, 2))
+	b := complex64(complex(3, -1))
+	c := complex64(complex(-2, 4))
+	want := a + b*c
+	got := MulAdd(a, b, c)
+	if got != want {
+		t.Errorf("MulAdd = %v, want %v", got, want)
+	}
+}
+
+func TestMulAddProperty(t *testing.T) {
+	err := quick.Check(func(ar, ai, br, bi, cr, ci float32) bool {
+		trim := func(x float32) float32 { return float32(math.Mod(float64(x), 1e4)) }
+		a := complex(trim(ar), trim(ai))
+		b := complex(trim(br), trim(bi))
+		c := complex(trim(cr), trim(ci))
+		got := MulAdd(a, b, c)
+		want := a + b*c
+		return math.Abs(float64(real(got)-real(want))) < 1e-1 &&
+			math.Abs(float64(imag(got)-imag(want))) < 1e-1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleConj(t *testing.T) {
+	z := complex64(complex(2, -3))
+	if got := Scale(2, z); got != complex(4, -6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Conj(z); got != complex(2, 3) {
+		t.Errorf("Conj = %v", got)
+	}
+}
+
+func TestExpi(t *testing.T) {
+	cases := []struct {
+		phi  float32
+		want complex64
+	}{
+		{0, 1},
+		{float32(math.Pi / 2), complex(0, 1)},
+		{float32(math.Pi), complex(-1, 0)},
+	}
+	for _, c := range cases {
+		got := Expi(c.phi)
+		if math.Abs(float64(real(got)-real(c.want))) > 1e-6 ||
+			math.Abs(float64(imag(got)-imag(c.want))) > 1e-6 {
+			t.Errorf("Expi(%v) = %v, want %v", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestExpiUnitModulus(t *testing.T) {
+	err := quick.Check(func(phi float32) bool {
+		if math.IsNaN(float64(phi)) || math.IsInf(float64(phi), 0) {
+			return true
+		}
+		phi = float32(math.Mod(float64(phi), 2*math.Pi))
+		m := Abs2(Expi(phi))
+		return math.Abs(float64(m)-1) < 1e-5
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastInvSqrtAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := float32(math.Exp(rng.Float64()*40 - 20)) // ~1e-9 .. 1e8
+		got := float64(FastInvSqrt(x))
+		want := 1 / math.Sqrt(float64(x))
+		rel := math.Abs(got-want) / want
+		if rel > 5e-6 {
+			t.Fatalf("FastInvSqrt(%v): rel err %v", x, rel)
+		}
+	}
+}
+
+func TestFastSqrtEdges(t *testing.T) {
+	if got := FastSqrt(0); got != 0 {
+		t.Errorf("FastSqrt(0) = %v, want 0", got)
+	}
+	if got := FastSqrt(1); math.Abs(float64(got)-1) > 5e-6 {
+		t.Errorf("FastSqrt(1) = %v, want 1", got)
+	}
+	if got := FastInvSqrt(float32(math.Inf(1))); got != 0 {
+		t.Errorf("FastInvSqrt(+Inf) = %v, want 0", got)
+	}
+	if got := FastInvSqrt(-1); !math.IsNaN(float64(got)) {
+		t.Errorf("FastInvSqrt(-1) = %v, want NaN", got)
+	}
+}
+
+func TestFastSqrtAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		x := float32(math.Exp(rng.Float64()*30 - 10))
+		got := float64(FastSqrt(x))
+		want := math.Sqrt(float64(x))
+		rel := math.Abs(got-want) / want
+		if rel > 5e-6 {
+			t.Fatalf("FastSqrt(%v): rel err %v", x, rel)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := complex64(complex(0, 0))
+	b := complex64(complex(2, -4))
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp t=0: %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp t=1: %v", got)
+	}
+	if got := Lerp(a, b, 0.5); got != complex(1, -2) {
+		t.Errorf("Lerp t=0.5: %v", got)
+	}
+}
+
+func BenchmarkMulAdd(b *testing.B) {
+	var acc complex64
+	x := complex64(complex(1.000001, -0.999999))
+	y := complex64(complex(0.5, 0.25))
+	for i := 0; i < b.N; i++ {
+		acc = MulAdd(acc, x, y)
+	}
+	_ = acc
+}
+
+func BenchmarkFastSqrt(b *testing.B) {
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		acc += FastSqrt(float32(i%1000) + 1)
+	}
+	_ = acc
+}

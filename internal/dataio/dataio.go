@@ -1,0 +1,134 @@
+// Package dataio defines the on-disk format the command-line tools use to
+// pass radar data between stages: a small self-describing binary container
+// holding the radar parameters and a complex64 matrix (pulse-compressed
+// data or a formed image), little-endian.
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+// magic identifies the container format ("SARDATA" + version 1).
+var magic = [8]byte{'S', 'A', 'R', 'D', 'A', 'T', 'A', '1'}
+
+// header is the fixed-size binary header following the magic.
+type header struct {
+	Rows, Cols        int32
+	NumPulses         int32
+	NumBins           int32
+	EnvelopeHalfWidth int32
+	_                 int32 // padding for 8-byte alignment
+	R0, DR            float64
+	PulseSpacing      float64
+	Wavelength        float64
+	RangeRes          float64
+}
+
+// Write serializes params and the matrix to w.
+func Write(w io.Writer, p sar.Params, m *mat.C) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	h := header{
+		Rows: int32(m.Rows), Cols: int32(m.Cols),
+		NumPulses: int32(p.NumPulses), NumBins: int32(p.NumBins),
+		EnvelopeHalfWidth: int32(p.EnvelopeHalfWidth),
+		R0:                p.R0, DR: p.DR,
+		PulseSpacing: p.PulseSpacing,
+		Wavelength:   p.Wavelength,
+		RangeRes:     p.RangeRes,
+	}
+	if err := binary.Write(bw, binary.LittleEndian, &h); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i, v := range row {
+			binary.LittleEndian.PutUint32(buf[8*i:], math.Float32bits(real(v)))
+			binary.LittleEndian.PutUint32(buf[8*i+4:], math.Float32bits(imag(v)))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a container written by Write.
+func Read(r io.Reader) (sar.Params, *mat.C, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return sar.Params{}, nil, fmt.Errorf("dataio: reading magic: %w", err)
+	}
+	if got != magic {
+		return sar.Params{}, nil, fmt.Errorf("dataio: bad magic %q", got[:])
+	}
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return sar.Params{}, nil, fmt.Errorf("dataio: reading header: %w", err)
+	}
+	if h.Rows < 0 || h.Cols < 0 || h.Rows > 1<<20 || h.Cols > 1<<20 {
+		return sar.Params{}, nil, fmt.Errorf("dataio: implausible dimensions %dx%d", h.Rows, h.Cols)
+	}
+	// Cap the total allocation so a corrupt header cannot exhaust memory:
+	// 1<<24 complex64 elements = 128 MB, far above any supported image.
+	if int64(h.Rows)*int64(h.Cols) > 1<<24 {
+		return sar.Params{}, nil, fmt.Errorf("dataio: %dx%d matrix exceeds the size cap", h.Rows, h.Cols)
+	}
+	p := sar.Params{
+		NumPulses: int(h.NumPulses), NumBins: int(h.NumBins),
+		EnvelopeHalfWidth: int(h.EnvelopeHalfWidth),
+		R0:                h.R0, DR: h.DR,
+		PulseSpacing: h.PulseSpacing,
+		Wavelength:   h.Wavelength,
+		RangeRes:     h.RangeRes,
+	}
+	m := mat.NewC(int(h.Rows), int(h.Cols))
+	buf := make([]byte, 8*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return sar.Params{}, nil, fmt.Errorf("dataio: reading row %d: %w", r, err)
+		}
+		row := m.Row(r)
+		for i := range row {
+			re := math.Float32frombits(binary.LittleEndian.Uint32(buf[8*i:]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(buf[8*i+4:]))
+			row[i] = complex(re, im)
+		}
+	}
+	return p, m, nil
+}
+
+// WriteFile writes a container to path.
+func WriteFile(path string, p sar.Params, m *mat.C) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, p, m); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadFile reads a container from path.
+func ReadFile(path string) (sar.Params, *mat.C, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sar.Params{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,102 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+func sample() (sar.Params, *mat.C) {
+	p := sar.DefaultParams()
+	p.NumPulses = 4
+	p.NumBins = 5
+	m := mat.NewC(4, 5)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			m.Set(r, c, complex(float32(r)+0.5, -float32(c)))
+		}
+	}
+	return p, m
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, m := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, p, m); err != nil {
+		t.Fatal(err)
+	}
+	p2, m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("params changed: %+v vs %+v", p2, p)
+	}
+	if !m2.Equal(m) {
+		t.Error("matrix changed")
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	p, m := sample()
+	path := filepath.Join(t.TempDir(), "data.sar")
+	if err := WriteFile(path, p, m); err != nil {
+		t.Fatal(err)
+	}
+	p2, m2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p || !m2.Equal(m) {
+		t.Error("file round trip changed data")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("NOTSARDATA AT ALL")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	p, m := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, p, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{4, 10, len(full) - 7} {
+		if _, _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.sar")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestViewIsSerializedCompactly(t *testing.T) {
+	p, m := sample()
+	v := m.View(1, 1, 2, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, p, v); err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rows != 2 || m2.Cols != 3 {
+		t.Fatalf("dims %dx%d", m2.Rows, m2.Cols)
+	}
+	if !m2.Equal(v) {
+		t.Error("view contents changed")
+	}
+}

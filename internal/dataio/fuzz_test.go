@@ -1,0 +1,43 @@
+package dataio
+
+import (
+	"bytes"
+	"testing"
+
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+// FuzzRead ensures arbitrary (corrupt) input can never panic the reader —
+// it must either parse or return an error.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid container and a few mutations.
+	p := sar.DefaultParams()
+	p.NumPulses, p.NumBins = 2, 3
+	m := mat.NewC(2, 3)
+	m.Set(0, 1, complex(1, -2))
+	var buf bytes.Buffer
+	if err := Write(&buf, p, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("SARDATA1 garbage follows"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[10] = 0xff // huge row count
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must produce a consistent matrix.
+		if m.Rows < 0 || m.Cols < 0 || len(m.Data) != m.Rows*m.Cols {
+			t.Fatalf("inconsistent matrix %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+		}
+		_ = p
+	})
+}

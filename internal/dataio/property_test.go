@@ -1,0 +1,56 @@
+package dataio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+// TestRoundTripProperty: any matrix/params pair survives serialization
+// bit for bit.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(rows, cols uint8, seed int64, r0, dr float64) bool {
+		nr := int(rows)%16 + 1
+		nc := int(cols)%16 + 1
+		p := sar.DefaultParams()
+		p.NumPulses = nr
+		p.NumBins = nc
+		p.R0 = 1 + mod(r0, 1e5)
+		p.DR = 0.1 + mod(dr, 10)
+		m := mat.NewC(nr, nc)
+		s := seed
+		for i := range m.Data {
+			s = s*6364136223846793005 + 1442695040888963407
+			m.Data[i] = complex(float32(s>>40), float32(s>>50))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p, m); err != nil {
+			return false
+		}
+		p2, m2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return p2 == p && m2.Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(x, m float64) float64 {
+	if x != x || x > 1e18 || x < -1e18 {
+		return 1
+	}
+	v := x
+	if v < 0 {
+		v = -v
+	}
+	for v >= m {
+		v /= 2
+	}
+	return v
+}

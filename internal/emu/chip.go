@@ -1,0 +1,244 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+
+	"sarmany/internal/machine"
+	"sarmany/internal/sim"
+)
+
+// Chip is one simulated Epiphany device: a mesh of cores, their local
+// memories, the shared off-chip channel, and external SDRAM. A Chip is
+// single-shot: construct it, Run one workload, then read times and stats.
+type Chip struct {
+	P     Params
+	Cores []*Core
+
+	ext *machine.Bump // external SDRAM allocator (shared)
+
+	// Barrier state for the active Run.
+	active     int
+	bar        *sim.Rendezvous
+	barTimes   []float64
+	barBusy    []float64
+	phaseStart float64
+	trace      []PhaseRecord
+}
+
+// New constructs a chip with the given parameters.
+func New(p Params) *Chip {
+	if p.NumCores() < 1 {
+		panic("emu: chip needs at least one core")
+	}
+	if p.NumBanks*p.BankBytes != p.LocalMemBytes {
+		panic(fmt.Sprintf("emu: %d banks of %d bytes do not form %d bytes of local memory",
+			p.NumBanks, p.BankBytes, p.LocalMemBytes))
+	}
+	// The global address map encodes 6-bit mesh coordinates starting at
+	// (firstMeshRow, firstMeshCol); larger meshes would alias.
+	if firstMeshRow+p.Rows > 64 || firstMeshCol+p.Cols > 64 {
+		panic(fmt.Sprintf("emu: %dx%d mesh exceeds the 6-bit address map", p.Rows, p.Cols))
+	}
+	ch := &Chip{
+		P:        p,
+		ext:      machine.NewBump(ExtBase, ExtSize),
+		barTimes: make([]float64, p.NumCores()),
+		barBusy:  make([]float64, p.NumCores()),
+	}
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			core := &Core{
+				chip: ch,
+				ID:   r*p.Cols + c,
+				Row:  r, Col: c,
+				banks: make([]*machine.Bump, p.NumBanks),
+			}
+			base := coreBase(r, c)
+			for b := 0; b < p.NumBanks; b++ {
+				core.banks[b] = machine.NewBump(base+uint32(b*p.BankBytes), p.BankBytes)
+			}
+			ch.Cores = append(ch.Cores, core)
+		}
+	}
+	return ch
+}
+
+// Ext returns the external-SDRAM allocator. Buffers allocated here are
+// charged off-chip access costs by every core.
+func (ch *Chip) Ext() machine.Alloc { return ch.ext }
+
+// Run executes fn concurrently on the first n cores (one goroutine per
+// core) and waits for completion. Barriers inside fn synchronize exactly
+// those n cores. n == 0 means all cores.
+func (ch *Chip) Run(n int, fn func(c *Core)) {
+	if n == 0 {
+		n = len(ch.Cores)
+	}
+	if n < 1 || n > len(ch.Cores) {
+		panic(fmt.Sprintf("emu: cannot run on %d of %d cores", n, len(ch.Cores)))
+	}
+	ch.active = n
+	ch.bar = sim.NewRendezvous(n)
+	ch.phaseStart = 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(c *Core) {
+			defer wg.Done()
+			fn(c)
+		}(ch.Cores[i])
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		ch.Cores[i].commit()
+	}
+}
+
+// resolvePhase settles off-chip bandwidth contention for the phase that
+// just ended: the barrier completes either when the slowest core finishes
+// or when the shared off-chip channel has drained all traffic offered
+// during the phase, whichever is later.
+func (ch *Chip) resolvePhase() {
+	var maxFinish, totalBusy float64
+	for i := 0; i < ch.active; i++ {
+		if ch.barTimes[i] > maxFinish {
+			maxFinish = ch.barTimes[i]
+		}
+		totalBusy += ch.barBusy[i]
+	}
+	t := maxFinish
+	bwBound := false
+	if drain := ch.phaseStart + totalBusy; drain > t {
+		t = drain
+		bwBound = true
+	}
+	ch.trace = append(ch.trace, PhaseRecord{
+		Index:          len(ch.trace),
+		Start:          ch.phaseStart,
+		End:            t,
+		SlowestCore:    maxFinish,
+		ExtBusy:        totalBusy,
+		BandwidthBound: bwBound,
+	})
+	ch.phaseStart = t
+}
+
+// Time returns the chip's execution time in seconds: the latest core
+// finish time over the cores that ran.
+func (ch *Chip) Time() float64 {
+	var max float64
+	for _, c := range ch.Cores {
+		if t := c.Cycles(); t > max {
+			max = t
+		}
+	}
+	return max / ch.P.Clock
+}
+
+// MaxCycles returns the latest core finish time in cycles.
+func (ch *Chip) MaxCycles() float64 {
+	var max float64
+	for _, c := range ch.Cores {
+		if t := c.Cycles(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// TotalStats sums the per-core statistics.
+func (ch *Chip) TotalStats() CoreStats {
+	var s CoreStats
+	for _, c := range ch.Cores {
+		s.FMA += c.Stats.FMA
+		s.Flop += c.Stats.Flop
+		s.IOp += c.Stats.IOp
+		s.Div += c.Stats.Div
+		s.Sqrt += c.Stats.Sqrt
+		s.Trig += c.Stats.Trig
+		s.LocalLoads += c.Stats.LocalLoads
+		s.LocalStores += c.Stats.LocalStores
+		s.RemoteReads += c.Stats.RemoteReads
+		s.RemoteWrites += c.Stats.RemoteWrites
+		s.ExtReads += c.Stats.ExtReads
+		s.ExtWrites += c.Stats.ExtWrites
+		s.ExtReadB += c.Stats.ExtReadB
+		s.ExtWriteB += c.Stats.ExtWriteB
+		s.NoCBytes += c.Stats.NoCBytes
+		s.DMATransfers += c.Stats.DMATransfers
+		s.DMABytes += c.Stats.DMABytes
+		s.BarrierWaits += c.Stats.BarrierWaits
+		s.StallCycles += c.Stats.StallCycles
+		s.ComputeCycles += c.Stats.ComputeCycles
+	}
+	return s
+}
+
+// Link is a one-way streaming connection between two cores, modelling the
+// paper's MPMD dataflow style: the producer writes blocks into the
+// consumer's local memory with posted writes and sets a flag; the consumer
+// polls the flag and reads locally. Capacity is the number of blocks that
+// fit in the consumer-side buffer before the producer back-pressures.
+type Link struct {
+	ch       *sim.Chan[[]complex64]
+	from, to *Core
+	hops     int
+}
+
+// Connect creates a link from core `from` to core `to` with the given
+// block capacity.
+func (ch *Chip) Connect(from, to, capacity int) *Link {
+	f, t := ch.Cores[from], ch.Cores[to]
+	return &Link{
+		ch:   sim.NewChan[[]complex64](capacity),
+		from: f,
+		to:   t,
+		hops: abs(f.Row-t.Row) + abs(f.Col-t.Col),
+	}
+}
+
+// Send streams vals over the link. It must be called by the link's
+// producer core. The producer pays the posted-write issue cycles; the
+// block becomes visible to the consumer after the mesh traversal latency.
+// If the consumer-side buffer is full the producer blocks until a slot
+// frees (and its clock advances accordingly).
+func (l *Link) Send(c *Core, vals []complex64) {
+	if c != l.from {
+		panic("emu: Send from wrong core")
+	}
+	n := len(vals) * 8
+	// Issue cycles: one double word per cycle into the mesh, plus the
+	// flag write.
+	c.ialu += words(n) + 1
+	c.commit()
+	dur := float64(l.hops)*c.chip.P.RemoteHopCycles + words(n)*8/c.chip.P.NoCBytesPerCycle
+	block := append([]complex64(nil), vals...)
+	before := c.now
+	c.now = l.ch.Send(c.now, block, dur)
+	if c.now > before {
+		c.Stats.StallCycles += c.now - before
+	}
+	c.Stats.RemoteWrites++
+	c.Stats.NoCBytes += uint64(n)
+}
+
+// Recv receives the next block. It must be called by the link's consumer
+// core; the consumer's clock advances to the block arrival time plus the
+// flag-poll and local reads.
+func (l *Link) Recv(c *Core) []complex64 {
+	if c != l.to {
+		panic("emu: Recv from wrong core")
+	}
+	c.ialu += 2 // flag poll + clear
+	c.commit()
+	v, now := l.ch.Recv(c.now)
+	if now > c.now {
+		c.Stats.StallCycles += now - c.now
+		c.now = now
+	}
+	// Local reads of the delivered block.
+	c.ialu += words(len(v) * 8)
+	c.Stats.LocalLoads++
+	return v
+}

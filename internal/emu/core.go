@@ -1,0 +1,284 @@
+package emu
+
+import (
+	"fmt"
+
+	"sarmany/internal/machine"
+)
+
+// CoreStats accumulates the operation counts and traffic of one core.
+type CoreStats struct {
+	FMA, Flop, IOp      uint64
+	Div, Sqrt, Trig     uint64
+	LocalLoads          uint64
+	LocalStores         uint64
+	RemoteReads         uint64
+	RemoteWrites        uint64
+	ExtReads, ExtWrites uint64
+	ExtReadB, ExtWriteB uint64
+	NoCBytes            uint64
+	DMATransfers        uint64
+	DMABytes            uint64
+	BarrierWaits        uint64
+	StallCycles         float64 // cycles spent stalled on reads/DMA/links
+	ComputeCycles       float64 // cycles from the dual-issue pipes
+}
+
+// Core is one Epiphany processor tile: a dual-issue core (FPU + integer
+// ALU), its banked local memory, and its DMA engine. Core implements
+// machine.Machine.
+type Core struct {
+	chip     *Chip
+	ID       int
+	Row, Col int
+
+	now  float64 // committed local time, cycles
+	fpu  float64 // pending FPU-pipe cycles since last commit
+	ialu float64 // pending IALU-pipe cycles since last commit
+
+	extBusy float64 // off-chip channel service cycles consumed this phase
+	dmaLast float64 // completion time of the most recently issued DMA
+
+	banks []*machine.Bump
+
+	Stats CoreStats
+}
+
+var _ machine.Machine = (*Core)(nil)
+
+// commit folds the pending dual-issue window into the committed time. The
+// two pipes issue in parallel (one FPU instruction and one IALU/load-store
+// instruction per cycle), so the window costs the maximum of the two
+// accumulations.
+func (c *Core) commit() {
+	d := c.fpu
+	if c.ialu > d {
+		d = c.ialu
+	}
+	c.now += d
+	c.Stats.ComputeCycles += d
+	c.fpu, c.ialu = 0, 0
+}
+
+func (c *Core) stall(cycles float64) {
+	c.commit()
+	c.now += cycles
+	c.Stats.StallCycles += cycles
+}
+
+// FMA charges n fused multiply-adds: one FPU cycle each.
+func (c *Core) FMA(n int) { c.fpu += float64(n); c.Stats.FMA += uint64(n) }
+
+// Flop charges n other floating-point operations: one FPU cycle each.
+func (c *Core) Flop(n int) { c.fpu += float64(n); c.Stats.Flop += uint64(n) }
+
+// IOp charges n integer/address operations on the IALU pipe.
+func (c *Core) IOp(n int) { c.ialu += float64(n); c.Stats.IOp += uint64(n) }
+
+// Div charges n software floating-point divides.
+func (c *Core) Div(n int) {
+	c.fpu += float64(n * c.chip.P.DivFlops)
+	c.Stats.Div += uint64(n)
+}
+
+// Sqrt charges n software square roots (the paper's "less
+// compute-intensive implementation of the square root operation").
+func (c *Core) Sqrt(n int) {
+	c.fpu += float64(n * c.chip.P.SqrtFlops)
+	c.Stats.Sqrt += uint64(n)
+}
+
+// Trig charges n software trigonometric evaluations.
+func (c *Core) Trig(n int) {
+	c.fpu += float64(n * c.chip.P.TrigFlops)
+	c.Stats.Trig += uint64(n)
+}
+
+// words returns the number of 64-bit transfers needed for n bytes.
+func words(n int) float64 { return float64((n + 7) / 8) }
+
+// Load charges a read of n bytes at addr. Local reads cost one IALU-pipe
+// cycle per double word; reads from another core's memory or from external
+// SDRAM stall the core for the full round trip — the asymmetry the paper
+// highlights ("writing has a single cycle throughput whereas the memory
+// read operation is more expensive due to stalling").
+func (c *Core) Load(addr uint32, n int) {
+	switch loc, hops := c.classify(addr); loc {
+	case locLocal:
+		c.ialu += words(n) * c.chip.P.LocalAccessCycles
+		c.Stats.LocalLoads++
+	case locRemote:
+		p := &c.chip.P
+		c.stall(p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles + words(n)*8/p.NoCBytesPerCycle)
+		c.Stats.RemoteReads++
+		c.Stats.NoCBytes += uint64(n)
+	case locExt:
+		p := &c.chip.P
+		service := float64(n) / p.ExtBytesPerCycle
+		c.stall(p.ExtReadLatency + service)
+		c.extBusy += service
+		c.Stats.ExtReads++
+		c.Stats.ExtReadB += uint64(n)
+	}
+}
+
+// Store charges a write of n bytes at addr. All writes are posted: local
+// stores cost one IALU cycle per double word; remote and external writes
+// cost only their issue cycles, with the consumed off-chip bandwidth
+// settled at the next barrier by the contention model.
+func (c *Core) Store(addr uint32, n int) {
+	switch loc, _ := c.classify(addr); loc {
+	case locLocal:
+		c.ialu += words(n) * c.chip.P.LocalAccessCycles
+		c.Stats.LocalStores++
+	case locRemote:
+		c.ialu += words(n) * 8 / c.chip.P.NoCBytesPerCycle
+		c.Stats.RemoteWrites++
+		c.Stats.NoCBytes += uint64(n)
+	case locExt:
+		c.ialu += words(n) * 8 / c.chip.P.NoCBytesPerCycle
+		c.extBusy += float64(n) / c.chip.P.ExtBytesPerCycle
+		c.Stats.ExtWrites++
+		c.Stats.ExtWriteB += uint64(n)
+	}
+}
+
+// Cycles returns the core's elapsed cycles including the pending
+// dual-issue window.
+func (c *Core) Cycles() float64 {
+	d := c.fpu
+	if c.ialu > d {
+		d = c.ialu
+	}
+	return c.now + d
+}
+
+// ClockHz returns the core clock frequency.
+func (c *Core) ClockHz() float64 { return c.chip.P.Clock }
+
+type location int
+
+const (
+	locLocal location = iota
+	locRemote
+	locExt
+)
+
+// classify maps a global address to local / remote-core / external, and
+// for remote addresses returns the Manhattan hop count of the XY route.
+func (c *Core) classify(addr uint32) (location, int) {
+	if addr >= ExtBase && addr < ExtBase+ExtSize {
+		return locExt, 0
+	}
+	id := addr >> 20
+	row := int(id>>6) - firstMeshRow
+	col := int(id&0x3f) - firstMeshCol
+	if row < 0 || row >= c.chip.P.Rows || col < 0 || col >= c.chip.P.Cols {
+		panic(fmt.Sprintf("emu: address %#x maps to no core or external region", addr))
+	}
+	if int(addr&0xfffff) >= c.chip.P.LocalMemBytes {
+		panic(fmt.Sprintf("emu: address %#x beyond local memory of core (%d,%d)", addr, row, col))
+	}
+	if row == c.Row && col == c.Col {
+		return locLocal, 0
+	}
+	return locRemote, abs(row-c.Row) + abs(col-c.Col)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Bank returns the allocator of local-memory bank b (0-based). The paper's
+// FFBP kernel stores subaperture data in "the two upper data banks" —
+// banks 2 and 3 here.
+func (c *Core) Bank(b int) machine.Alloc {
+	if b < 0 || b >= len(c.banks) {
+		panic(fmt.Sprintf("emu: core has no bank %d", b))
+	}
+	return c.banks[b]
+}
+
+// DMA is a handle for an in-flight DMA transfer.
+type DMA struct {
+	done float64
+}
+
+// dmaStart computes the timing of a DMA transfer of n bytes whose
+// source/destination classification is ext (true if either side is
+// external memory). The engine processes one descriptor at a time, so a
+// new transfer starts after the previous one completes.
+func (c *Core) dmaStart(n int, ext bool) DMA {
+	c.ialu += c.chip.P.DMASetupCycles
+	c.commit()
+	start := c.now
+	if c.dmaLast > start {
+		start = c.dmaLast
+	}
+	p := &c.chip.P
+	var dur float64
+	if ext {
+		service := float64(n) / p.ExtBytesPerCycle
+		dur = p.ExtReadLatency + service
+		c.extBusy += service
+	} else {
+		dur = p.RemoteReadBase + float64(n)/p.DMABytesPerCycle
+		c.Stats.NoCBytes += uint64(n)
+	}
+	c.dmaLast = start + dur
+	c.Stats.DMATransfers++
+	c.Stats.DMABytes += uint64(n)
+	return DMA{done: c.dmaLast}
+}
+
+// DMACopyC starts a DMA transfer of n complex64 elements from src[so:] to
+// dst[do:]. The Go data is copied immediately; simulated time advances
+// when DMAWait is called, so a kernel must not consume dst before waiting
+// — the same discipline real DMA requires.
+func (c *Core) DMACopyC(dst *machine.BufC, do int, src *machine.BufC, so, n int) DMA {
+	copy(dst.Data[do:do+n], src.Data[so:so+n])
+	ext := isExt(dst.ElemAddr(do)) || isExt(src.ElemAddr(so))
+	if ext {
+		c.Stats.ExtReads++ // one burst transaction
+		if isExt(src.ElemAddr(so)) {
+			c.Stats.ExtReadB += uint64(8 * n)
+		} else {
+			c.Stats.ExtWriteB += uint64(8 * n)
+		}
+	}
+	return c.dmaStart(8*n, ext)
+}
+
+// DMAWait blocks (in simulated time) until transfer d has completed.
+func (c *Core) DMAWait(d DMA) {
+	c.commit()
+	if d.done > c.now {
+		c.Stats.StallCycles += d.done - c.now
+		c.now = d.done
+	}
+}
+
+func isExt(addr uint32) bool { return addr >= ExtBase && addr < ExtBase+ExtSize }
+
+// Barrier synchronizes all cores participating in the current Run. The
+// last core to arrive settles the phase's off-chip bandwidth contention:
+// if the cores collectively consumed more channel service time than the
+// phase spanned, the barrier completes when the channel drains. All cores
+// leave the barrier at the same (adjusted) time.
+func (c *Core) Barrier() {
+	c.commit()
+	ch := c.chip
+	ch.barTimes[c.ID] = c.now
+	ch.barBusy[c.ID] = c.extBusy
+	c.Stats.BarrierWaits++
+	ch.bar.Wait(func() { ch.resolvePhase() })
+	before := c.now
+	c.now = ch.phaseStart
+	if c.now > before {
+		c.Stats.StallCycles += c.now - before
+	}
+	c.extBusy = 0
+}

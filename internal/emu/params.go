@@ -1,0 +1,148 @@
+// Package emu models the Adapteva Epiphany manycore architecture (paper
+// Sec. III) at the cycle-accounting level: dual-issue cores with a
+// single-cycle fused-multiply-add FPU, 32 KB of banked local memory per
+// core, the eGrid 2-D mesh NoC with XY routing and one-cycle-per-node
+// latency, per-core DMA engines, and the eLink/SDRAM off-chip path with
+// stalling reads and posted (non-stalling) writes.
+//
+// Kernels execute real arithmetic in Go while charging an emu.Core (which
+// implements machine.Machine) for every operation; the model translates
+// the operation stream into cycles. Simulated cores run as goroutines and
+// synchronize through deterministic virtual-time primitives (package sim),
+// so a given kernel always produces bit-identical timing.
+package emu
+
+// Params holds the architecture and timing constants of a chip
+// configuration. All cycle figures are in core clock cycles. The values in
+// E16G3 derive from the Epiphany E16G3 datasheet and the architecture
+// description in the paper (Sec. III), not from the paper's results table;
+// see DESIGN.md for the calibration policy.
+type Params struct {
+	// Rows, Cols give the core mesh dimensions (4x4 for the E16G3).
+	Rows, Cols int
+	// Clock is the core (and NoC) clock frequency in Hz. The paper
+	// reports results scaled to the architecture's 1 GHz maximum.
+	Clock float64
+	// LocalMemBytes is the per-core local store (32 KB on the E16G3),
+	// organized as NumBanks banks of BankBytes each (4 x 8 KB).
+	LocalMemBytes int
+	NumBanks      int
+	BankBytes     int
+
+	// SqrtFlops, DivFlops and TrigFlops are the FPU operation counts of
+	// the software routines Epiphany uses for operations its FPU lacks:
+	// the fast inverse-square-root style sqrt the paper mentions, a
+	// Newton–Raphson divide, and polynomial sincos/atan kernels.
+	SqrtFlops, DivFlops, TrigFlops int
+
+	// LocalAccessCycles is the IALU-pipe cost of one 64-bit local-memory
+	// load or store (single cycle, dual-issued with FPU work).
+	LocalAccessCycles float64
+
+	// RemoteReadBase is the fixed round-trip overhead of a read from
+	// another core's local memory; RemoteHopCycles is added per mesh hop
+	// per direction (the eGrid's single-cycle-wait-per-node routing).
+	RemoteReadBase  float64
+	RemoteHopCycles float64
+	// NoCBytesPerCycle is the per-link on-chip throughput (8 bytes/cycle:
+	// one double word per clock).
+	NoCBytesPerCycle float64
+
+	// ExtReadLatency is the round-trip stall of a direct off-chip read
+	// (eLink + SDRAM). Reads stall the core; writes are posted.
+	ExtReadLatency float64
+	// ExtBytesPerCycle is the sustained off-chip bandwidth shared by all
+	// cores, in bytes per core-clock cycle. The eGrid's theoretical
+	// off-chip bandwidth is 8 GB/s (paper Sec. III), but the experimental
+	// board's eLink sustains far less; this is the effective figure the
+	// contention model uses.
+	ExtBytesPerCycle float64
+
+	// DMASetupCycles is the descriptor setup cost of starting a DMA
+	// transfer; DMABytesPerCycle is the engine's peak throughput (a double
+	// word per clock cycle, per the paper).
+	DMASetupCycles   float64
+	DMABytesPerCycle float64
+
+	// IdlePowerWatts and MaxPowerWatts bound the chip power model; see
+	// package energy. The paper uses 2 W for the E16G3 at 1 GHz.
+	MaxPowerWatts float64
+}
+
+// E16G3 returns the 16-core Epiphany-III configuration used in the paper's
+// experiments, timed at the architecture's maximum 1 GHz clock.
+func E16G3() Params {
+	return Params{
+		Rows: 4, Cols: 4,
+		Clock:         1e9,
+		LocalMemBytes: 32 * 1024,
+		NumBanks:      4,
+		BankBytes:     8 * 1024,
+
+		// Software numeric routines (float32): fast inverse sqrt with two
+		// Newton steps, Newton divide, polynomial sincos/atan of ~9th
+		// order plus range reduction — all FMA-friendly.
+		SqrtFlops: 10,
+		DivFlops:  17,
+		TrigFlops: 45,
+
+		LocalAccessCycles: 1,
+
+		RemoteReadBase:   12,
+		RemoteHopCycles:  1,
+		NoCBytesPerCycle: 8,
+
+		// ~80 ns eLink+SDRAM round trip at 1 GHz; ~1 B/cycle sustained
+		// off-chip (1 GB/s at 1 GHz, ~1/8 of the eGrid's 8 GB/s theoretical
+		// off-chip bandwidth) shared by all cores.
+		ExtReadLatency:   80,
+		ExtBytesPerCycle: 1.0,
+
+		DMASetupCycles:   40,
+		DMABytesPerCycle: 8,
+
+		MaxPowerWatts: 2,
+	}
+}
+
+// E64 returns a 64-core (8x8) configuration with the same per-core
+// parameters, modelling the 64-core Epiphany the paper's conclusions
+// mention as newly available. The off-chip path is kept identical, which
+// is precisely why FFBP scaling saturates there (see the scaling bench).
+func E64() Params {
+	p := E16G3()
+	p.Rows, p.Cols = 8, 8
+	p.MaxPowerWatts = 8 // four times the tiles and NoC area
+	return p
+}
+
+// WithMesh returns a copy of p resized to an r x c core mesh.
+func (p Params) WithMesh(r, c int) Params {
+	p.Rows, p.Cols = r, c
+	return p
+}
+
+// NumCores returns the number of cores in the mesh.
+func (p Params) NumCores() int { return p.Rows * p.Cols }
+
+// Address map constants. The Epiphany has a flat 32-bit global address
+// space: the upper 12 bits select a mesh node (6-bit row, 6-bit column)
+// and the low 20 bits are the offset within that node's page. The E16G3
+// occupies mesh rows 32-35 and columns 8-11, and external SDRAM is mapped
+// at 0x8e000000 — matching the real device's memory map.
+const (
+	firstMeshRow = 32
+	firstMeshCol = 8
+
+	// ExtBase is the base address of external (off-chip SDRAM) memory.
+	ExtBase uint32 = 0x8e000000
+	// ExtSize is the modeled external memory size (32 MB, as on the
+	// paper's experimental board).
+	ExtSize = 32 * 1024 * 1024
+)
+
+// coreBase returns the base address of core (row, col)'s local page.
+func coreBase(row, col int) uint32 {
+	id := uint32(firstMeshRow+row)<<6 | uint32(firstMeshCol+col)
+	return id << 20
+}

@@ -1,0 +1,51 @@
+package emu
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PhaseRecord summarizes one barrier-delimited phase of an SPMD run: when
+// it started and ended, how much off-chip channel service time its traffic
+// consumed, and whether the barrier was bound by the slowest core's
+// compute or by draining the off-chip channel — the distinction at the
+// heart of the paper's FFBP analysis.
+type PhaseRecord struct {
+	Index      int
+	Start, End float64 // cycles
+	// SlowestCore is the latest per-core finish time of the phase.
+	SlowestCore float64
+	// ExtBusy is the total off-chip channel service time consumed.
+	ExtBusy float64
+	// BandwidthBound reports whether draining the off-chip channel (not
+	// core compute) determined the barrier time.
+	BandwidthBound bool
+}
+
+// Duration returns the phase length in cycles.
+func (p PhaseRecord) Duration() float64 { return p.End - p.Start }
+
+// Phases returns the per-phase trace of the most recent Run, one record
+// per barrier.
+func (ch *Chip) Phases() []PhaseRecord { return ch.trace }
+
+// WritePhaseTable prints the phase trace as a table with a utilization bar
+// (share of the phase the off-chip channel was busy).
+func (ch *Chip) WritePhaseTable(w io.Writer) {
+	fmt.Fprintf(w, "%5s %14s %14s %9s %7s  %s\n",
+		"phase", "cycles", "ext busy", "ext util", "bound", "")
+	for _, p := range ch.trace {
+		util := 0.0
+		if d := p.Duration(); d > 0 {
+			util = p.ExtBusy / d
+		}
+		bound := "compute"
+		if p.BandwidthBound {
+			bound = "bw"
+		}
+		bar := strings.Repeat("#", int(util*20+0.5))
+		fmt.Fprintf(w, "%5d %14.0f %14.0f %8.0f%% %7s  %s\n",
+			p.Index, p.Duration(), p.ExtBusy, util*100, bound, bar)
+	}
+}

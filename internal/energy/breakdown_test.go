@@ -1,0 +1,68 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"sarmany/internal/emu"
+)
+
+func TestEpiphanyBreakdownComponents(t *testing.T) {
+	s := emu.CoreStats{
+		FMA: 1e9, Flop: 5e8, IOp: 2e8,
+		Sqrt: 1e6, Div: 1e6, Trig: 1e6,
+		LocalLoads: 1e8, LocalStores: 5e7,
+		NoCBytes: 1e8,
+		ExtReadB: 5e7, ExtWriteB: 5e7,
+	}
+	b := EpiphanyBreakdown(s, 0.3)
+	for name, v := range map[string]float64{
+		"compute": b.ComputeJ, "local": b.LocalMemJ, "noc": b.NoCJ,
+		"elink": b.ELinkJ, "static": b.StaticJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s component %v, want > 0", name, v)
+		}
+	}
+	if b.Total() <= b.ComputeJ {
+		t.Error("total not above compute alone")
+	}
+	if got := b.AveragePower(0.3); got != b.Total()/0.3 {
+		t.Errorf("AveragePower %v", got)
+	}
+	if b.AveragePower(0) != 0 {
+		t.Error("zero-time power")
+	}
+}
+
+func TestBreakdownOfRealFFBPRun(t *testing.T) {
+	// A fully loaded FFBP-style op mix should land within a factor of a
+	// few of the 2 W datasheet figure — the sanity anchor of the model.
+	// Approximate the paper-scale parallel run: ~250 ms, ~3.5e9 FMA-class
+	// ops, ~2.5e8 MB of off-chip traffic.
+	s := emu.CoreStats{
+		FMA: 2.2e9, Flop: 1.3e9, IOp: 1.8e9,
+		Sqrt: 2e7, Div: 2e7, Trig: 2.2e7,
+		LocalLoads: 1e8, LocalStores: 0,
+		ExtReadB: 1.7e8, ExtWriteB: 9e7,
+	}
+	const sec = 0.25
+	b := EpiphanyBreakdown(s, sec)
+	p := b.AveragePower(sec)
+	if p < 0.4 || p > 6 {
+		t.Errorf("modeled average power %v W implausible vs the 2 W budget", p)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{ComputeJ: 1, LocalMemJ: 0.5, NoCJ: 0.1, ELinkJ: 0.2, StaticJ: 0.2}
+	s := b.String()
+	for _, want := range []string{"compute", "local mem", "mesh NoC", "eLink", "static", "total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+	if (Breakdown{}).String() != "no energy recorded" {
+		t.Error("empty breakdown formatting")
+	}
+}

@@ -1,0 +1,68 @@
+package fft
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sarmany/internal/cf"
+)
+
+// TestRealInputConjugateSymmetry: the spectrum of a real signal satisfies
+// X[k] == conj(X[n-k]).
+func TestRealInputConjugateSymmetry(t *testing.T) {
+	f := func(vals [16]float32) bool {
+		x := make([]complex64, 16)
+		for i, v := range vals {
+			if v != v || v > 1e6 || v < -1e6 {
+				v = float32(math.Mod(float64(v), 1e3))
+				if v != v {
+					v = 0
+				}
+			}
+			x[i] = complex(v, 0)
+		}
+		MustPlan(16).Forward(x)
+		for k := 1; k < 8; k++ {
+			d := x[k] - cf.Conj(x[16-k])
+			if cf.Abs2(d) > 1e-4*(1+cf.Abs2(x[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeShiftPhaseRamp: circularly shifting the input multiplies the
+// spectrum by a linear phase, leaving magnitudes unchanged.
+func TestTimeShiftPhaseRamp(t *testing.T) {
+	f := func(vals [16]float32, shiftRaw uint8) bool {
+		shift := int(shiftRaw) % 16
+		x := make([]complex64, 16)
+		y := make([]complex64, 16)
+		for i := range x {
+			v := float32(math.Mod(float64(vals[i]), 1e3))
+			if v != v {
+				v = 0
+			}
+			x[i] = complex(v, v/2)
+			y[(i+shift)%16] = x[i]
+		}
+		p := MustPlan(16)
+		p.Forward(x)
+		p.Forward(y)
+		for k := range x {
+			ma, mb := cf.Abs2(x[k]), cf.Abs2(y[k])
+			if math.Abs(float64(ma-mb)) > 1e-3*(1+float64(ma)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

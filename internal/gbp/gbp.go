@@ -1,0 +1,86 @@
+// Package gbp implements global back-projection (GBP), the exact
+// time-domain SAR image-formation baseline that fast factorized
+// back-projection approximates. For every output pixel it integrates the
+// matched-filtered response along the pixel's exact range history over all
+// pulses (paper Sec. II), so its cost is O(pixels x pulses) — the
+// motivation for FFBP's O(pixels x log pulses) factorization.
+package gbp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+// Config controls image formation.
+type Config struct {
+	// Interp selects the data interpolation kernel; Linear is the usual
+	// high-quality choice for the GBP reference image.
+	Interp interp.Kind
+	// Workers is the number of goroutines to use; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Image back-projects pulse-compressed data onto the polar grid, which must
+// be expressed relative to the full-aperture centre (track position 0).
+// Row k of the result is beam k of the grid, column i is range bin i.
+func Image(data *mat.C, p sar.Params, grid geom.PolarGrid, cfg Config) *mat.C {
+	if data.Rows != p.NumPulses || data.Cols != p.NumBins {
+		panic("gbp: data dimensions do not match params")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	img := mat.NewC(grid.NTheta, grid.NR)
+	k := 4 * math.Pi / p.Wavelength
+
+	// Precompute pulse track positions.
+	us := make([]float64, p.NumPulses)
+	for i := range us {
+		us[i] = p.TrackPos(i)
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range mat.Partition(grid.NTheta, workers) {
+		if s.Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s mat.Slice) {
+			defer wg.Done()
+			backproject(data, img, grid, us, k, s, cfg.Interp)
+		}(s)
+	}
+	wg.Wait()
+	return img
+}
+
+func backproject(data, img *mat.C, grid geom.PolarGrid, us []float64, k float64, s mat.Slice, kind interp.Kind) {
+	for bt := s.Lo; bt < s.Hi; bt++ {
+		theta := grid.Theta(bt)
+		ct, st := math.Cos(theta), math.Sin(theta)
+		row := img.Row(bt)
+		for bi := 0; bi < grid.NR; bi++ {
+			r := grid.Range(bi)
+			x := r * ct
+			y := r * st
+			var acc complex64
+			for pi, u := range us {
+				rp := math.Hypot(x-u, y)
+				v := interp.At1(data.Row(pi), grid.RangeIndex(rp), kind)
+				if v == 0 {
+					continue
+				}
+				acc += v * cf.Expi(float32(k*rp))
+			}
+			row[bi] = acc
+		}
+	}
+}

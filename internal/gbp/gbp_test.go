@@ -1,0 +1,125 @@
+package gbp
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/ffbp"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+	"sarmany/internal/quality"
+	"sarmany/internal/sar"
+)
+
+func testSetup() (sar.Params, geom.SceneBox, geom.PolarGrid) {
+	p := sar.DefaultParams()
+	p.NumPulses = 128
+	p.NumBins = 161
+	p.R0 = 500
+	box := geom.SceneBox{UMin: -25, UMax: 25, YMin: 510, YMax: 570, ThetaPad: 0.05}
+	full := geom.Aperture{Center: 0, Length: p.ApertureLength()}
+	grid := box.GridFor(full, p.NumPulses, p.NumBins, p.R0, p.DR)
+	return p, box, grid
+}
+
+func TestImageDimensionMismatchPanics(t *testing.T) {
+	p, _, grid := testSetup()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Image(mat.NewC(2, 2), p, grid, Config{})
+}
+
+func TestImageFocusesTarget(t *testing.T) {
+	p, _, grid := testSetup()
+	tg := sar.Target{U: 8, Y: 540, Amp: 1}
+	data := sar.Simulate(p, []sar.Target{tg}, nil)
+	img := Image(data, p, grid, Config{Interp: interp.Linear})
+	m := quality.Mag(img)
+	pr, pc, pv := quality.Peak(m)
+	wr := int(math.Round(grid.ThetaIndex(math.Atan2(tg.Y, tg.U))))
+	wc := int(math.Round(grid.RangeIndex(math.Hypot(tg.U, tg.Y))))
+	if abs(pr-wr) > 4 || abs(pc-wc) > 2 {
+		t.Errorf("peak at (%d,%d), want (%d,%d)", pr, pc, wr, wc)
+	}
+	// GBP applies exact phase compensation, so coherence should be high.
+	if float64(pv) < 0.7*float64(p.NumPulses) {
+		t.Errorf("peak %v too low for %d pulses", pv, p.NumPulses)
+	}
+}
+
+func TestSequentialAndParallelIdentical(t *testing.T) {
+	p, _, grid := testSetup()
+	data := sar.Simulate(p, []sar.Target{{U: -5, Y: 530, Amp: 1}}, nil)
+	seq := Image(data, p, grid, Config{Interp: interp.Nearest, Workers: 1})
+	par := Image(data, p, grid, Config{Interp: interp.Nearest, Workers: 7})
+	if !seq.Equal(par) {
+		t.Errorf("parallel image differs from sequential (max diff %v)", seq.MaxAbsDiff(par))
+	}
+}
+
+func TestGBPOutperformsNearestFFBP(t *testing.T) {
+	// Paper Fig. 7: "The FFBP processed images ... have a lower quality as
+	// compared to the GBP processed image due to the noise introduced by
+	// the simplified interpolation performed in the successive iterations."
+	p, box, grid := testSetup()
+	tg := sar.Target{U: 0, Y: 540, Amp: 1}
+	data := sar.Simulate(p, []sar.Target{tg}, nil)
+
+	gimg := Image(data, p, grid, Config{Interp: interp.Linear})
+	fimg, _, err := ffbp.Image(data, p, box, ffbp.Config{Interp: interp.Nearest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := quality.Mag(gimg)
+	fm := quality.Mag(fimg)
+	gs := quality.Sharpness(gm)
+	fs := quality.Sharpness(fm)
+	if !(gs > fs) {
+		t.Errorf("GBP sharpness %v not above nearest-FFBP %v", gs, fs)
+	}
+	_, _, gp := quality.Peak(gm)
+	_, _, fp := quality.Peak(fm)
+	if !(gp > fp) {
+		t.Errorf("GBP coherent gain %v not above nearest-FFBP %v", gp, fp)
+	}
+}
+
+func TestGBPAndCubicFFBPAgree(t *testing.T) {
+	// With a high-quality interpolation kernel, FFBP approximates GBP
+	// closely; the magnitude images should be strongly correlated.
+	p, box, grid := testSetup()
+	data := sar.Simulate(p, []sar.Target{{U: 10, Y: 545, Amp: 1}, {U: -12, Y: 525, Amp: 0.8}}, nil)
+	gimg := Image(data, p, grid, Config{Interp: interp.Linear})
+	fimg, fgrid, err := ffbp.Image(data, p, box, ffbp.Config{Interp: interp.Cubic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fgrid != grid {
+		t.Fatalf("FFBP final grid %+v differs from GBP grid %+v", fgrid, grid)
+	}
+	corr := quality.NormCorr(quality.Mag(gimg), quality.Mag(fimg))
+	if corr < 0.8 {
+		t.Errorf("GBP/FFBP-cubic correlation %v, want >= 0.8", corr)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func BenchmarkGBP128(b *testing.B) {
+	p, _, grid := testSetup()
+	data := sar.Simulate(p, sar.SixTargetScene(p), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Image(data, p, grid, Config{Interp: interp.Nearest})
+	}
+}

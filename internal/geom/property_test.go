@@ -1,0 +1,62 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestChildCoordsTriangleInequality: the child ranges can never differ
+// from the parent range by more than the centre offset (l/2).
+func TestChildCoordsTriangleInequality(t *testing.T) {
+	f := func(rRaw, thRaw, lRaw float64) bool {
+		r := 10 + clampAbs(rRaw, 1e5)
+		th := 0.05 + math.Mod(clampAbs(thRaw, 1), 1)*(math.Pi-0.1)
+		l := clampAbs(lRaw, 100)
+		r1, _, r2, _ := ChildCoords(r, th, l)
+		h := l/2 + 1e-9
+		return math.Abs(r1-r) <= h && math.Abs(r2-r) <= h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGridIndexInversion: ThetaIndex/RangeIndex invert Theta/Range for
+// every bin of every grid.
+func TestGridIndexInversion(t *testing.T) {
+	f := func(nrRaw, ntRaw uint8, r0Raw, drRaw, cRaw float64) bool {
+		nr := int(nrRaw)%64 + 2
+		nt := int(ntRaw)%64 + 1
+		r0 := 1 + clampAbs(r0Raw, 1e4)
+		dr := 0.01 + clampAbs(drRaw, 10)
+		c := clampAbs(cRaw, 1000) - 500
+		box := SceneBox{UMin: c - 50, UMax: c + 50, YMin: r0, YMax: r0 + float64(nr)*dr}
+		g := box.GridFor(Aperture{Center: c, Length: 10}, nt, nr, r0, dr)
+		for i := 0; i < nr; i += 7 {
+			if math.Abs(g.RangeIndex(g.Range(i))-float64(i)) > 1e-6 {
+				return false
+			}
+		}
+		for k := 0; k < nt; k += 3 {
+			if math.Abs(g.ThetaIndex(g.Theta(k))-float64(k)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampAbs(x, m float64) float64 {
+	if x != x || math.IsInf(x, 0) {
+		return 1
+	}
+	v := math.Abs(x)
+	for v >= m {
+		v /= 16
+	}
+	return v
+}

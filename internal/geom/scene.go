@@ -1,0 +1,44 @@
+package geom
+
+import "math"
+
+// SceneBox bounds the imaged area in track coordinates: azimuth (along the
+// flight track) in [UMin, UMax] and cross-track slant range in [YMin, YMax].
+// Every subaperture image of the FFBP pyramid must cover this box as seen
+// from its own centre; SceneBox computes those per-aperture angular
+// intervals.
+type SceneBox struct {
+	UMin, UMax float64
+	YMin, YMax float64
+	// ThetaPad widens the angular interval on each side by this fraction of
+	// the interval, providing interpolation guard bins at the beam edges.
+	ThetaPad float64
+}
+
+// ThetaBounds returns the angular interval covering the box as seen from a
+// subaperture centred at track position c (angles measured from the track
+// direction, as in ChildCoords).
+func (b SceneBox) ThetaBounds(c float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, u := range [2]float64{b.UMin, b.UMax} {
+		for _, y := range [2]float64{b.YMin, b.YMax} {
+			th := math.Atan2(y, u-c)
+			if th < lo {
+				lo = th
+			}
+			if th > hi {
+				hi = th
+			}
+		}
+	}
+	pad := (hi - lo) * b.ThetaPad
+	return lo - pad, hi + pad
+}
+
+// GridFor returns the polar grid of a subaperture image for aperture a:
+// ntheta beams covering the scene box as seen from a.Center, over the
+// common range grid (nr bins from r0 spaced dr).
+func (b SceneBox) GridFor(a Aperture, ntheta, nr int, r0, dr float64) PolarGrid {
+	lo, hi := b.ThetaBounds(a.Center)
+	return NewPolarGrid(nr, r0, dr, ntheta, lo, hi)
+}

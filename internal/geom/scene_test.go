@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThetaBoundsBroadside(t *testing.T) {
+	b := SceneBox{UMin: -100, UMax: 100, YMin: 1000, YMax: 1200}
+	lo, hi := b.ThetaBounds(0)
+	// Symmetric about pi/2 for a centred aperture.
+	if math.Abs((lo+hi)/2-math.Pi/2) > 1e-12 {
+		t.Errorf("interval not centred on broadside: [%v, %v]", lo, hi)
+	}
+	// Extremes come from the near-range corners.
+	want := math.Atan2(1000, 100)
+	if math.Abs(lo-want) > 1e-12 {
+		t.Errorf("lo = %v, want %v", lo, want)
+	}
+}
+
+func TestThetaBoundsCoversAllCorners(t *testing.T) {
+	b := SceneBox{UMin: -150, UMax: 150, YMin: 2000, YMax: 2500}
+	for _, c := range []float64{-512, -100, 0, 333, 512} {
+		lo, hi := b.ThetaBounds(c)
+		for _, u := range []float64{b.UMin, 0, b.UMax} {
+			for _, y := range []float64{b.YMin, 2222, b.YMax} {
+				th := math.Atan2(y, u-c)
+				if th < lo || th > hi {
+					t.Fatalf("point (%v,%v) seen from %v at angle %v outside [%v,%v]", u, y, c, th, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestThetaBoundsPad(t *testing.T) {
+	b := SceneBox{UMin: -10, UMax: 10, YMin: 100, YMax: 110}
+	lo0, hi0 := b.ThetaBounds(0)
+	b.ThetaPad = 0.1
+	lo1, hi1 := b.ThetaBounds(0)
+	if !(lo1 < lo0 && hi1 > hi0) {
+		t.Errorf("pad did not widen interval: [%v,%v] vs [%v,%v]", lo1, hi1, lo0, hi0)
+	}
+	w0 := hi0 - lo0
+	if math.Abs((hi1-lo1)-w0*1.2) > 1e-12 {
+		t.Errorf("pad width wrong: %v want %v", hi1-lo1, w0*1.2)
+	}
+}
+
+func TestGridForMatchesBounds(t *testing.T) {
+	b := SceneBox{UMin: -50, UMax: 50, YMin: 900, YMax: 1000}
+	a := Aperture{Center: 25, Length: 64}
+	g := b.GridFor(a, 8, 101, 900, 1)
+	if g.NTheta != 8 || g.NR != 101 || g.R0 != 900 || g.DR != 1 {
+		t.Fatalf("grid %+v", g)
+	}
+	lo, hi := b.ThetaBounds(25)
+	gridLo := g.Theta0 - g.DTheta/2
+	gridHi := g.Theta0 + (float64(g.NTheta)-0.5)*g.DTheta
+	if math.Abs(gridLo-lo) > 1e-12 || math.Abs(gridHi-hi) > 1e-12 {
+		t.Errorf("grid interval [%v,%v], want [%v,%v]", gridLo, gridHi, lo, hi)
+	}
+}

@@ -1,0 +1,63 @@
+package imageio
+
+import (
+	"fmt"
+	"math"
+
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+)
+
+// Back-projected images live on a polar (beam x range) grid relative to
+// the aperture centre. For display and geocoding they are resampled onto a
+// Cartesian ground raster: rows step in cross-track (y), columns in
+// along-track (x). This file performs that resampling.
+
+// GroundSpec describes a Cartesian ground raster: pixel (r, c) sits at
+//
+//	x = X0 + c*Res    (along-track)
+//	y = Y0 + r*Res    (cross-track)
+type GroundSpec struct {
+	X0, Y0 float64
+	Res    float64
+	Rows   int
+	Cols   int
+}
+
+// GroundSpecFor returns a raster covering the scene box at the given pixel
+// resolution (metres).
+func GroundSpecFor(box geom.SceneBox, res float64) (GroundSpec, error) {
+	if res <= 0 {
+		return GroundSpec{}, fmt.Errorf("imageio: resolution %v <= 0", res)
+	}
+	w := box.UMax - box.UMin
+	h := box.YMax - box.YMin
+	if w <= 0 || h <= 0 {
+		return GroundSpec{}, fmt.Errorf("imageio: empty scene box %+v", box)
+	}
+	return GroundSpec{
+		X0: box.UMin, Y0: box.YMin, Res: res,
+		Rows: int(h/res) + 1,
+		Cols: int(w/res) + 1,
+	}, nil
+}
+
+// ToGround resamples a polar image (rows = beams on grid g, relative to a
+// subaperture centred at track position center) onto the Cartesian raster
+// spec, using the given interpolation kernel. Raster pixels outside the
+// polar grid become zero.
+func ToGround(img *mat.C, g geom.PolarGrid, center float64, spec GroundSpec, kind interp.Kind) *mat.C {
+	out := mat.NewC(spec.Rows, spec.Cols)
+	for r := 0; r < spec.Rows; r++ {
+		y := spec.Y0 + float64(r)*spec.Res
+		row := out.Row(r)
+		for c := 0; c < spec.Cols; c++ {
+			x := spec.X0 + float64(c)*spec.Res
+			rr := math.Hypot(x-center, y)
+			th := math.Atan2(y, x-center)
+			row[c] = interp.At2(img, g.ThetaIndex(th), g.RangeIndex(rr), kind)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package imageio
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+)
+
+func TestGroundSpecFor(t *testing.T) {
+	box := geom.SceneBox{UMin: -50, UMax: 50, YMin: 500, YMax: 560}
+	spec, err := GroundSpecFor(box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Cols != 51 || spec.Rows != 31 {
+		t.Errorf("raster %dx%d", spec.Rows, spec.Cols)
+	}
+	if spec.X0 != -50 || spec.Y0 != 500 {
+		t.Errorf("origin (%v, %v)", spec.X0, spec.Y0)
+	}
+	if _, err := GroundSpecFor(box, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := GroundSpecFor(geom.SceneBox{}, 1); err == nil {
+		t.Error("empty box accepted")
+	}
+}
+
+func TestToGroundPlacesPolarPeak(t *testing.T) {
+	// A single bright pixel at known polar coordinates must land at the
+	// corresponding Cartesian position.
+	box := geom.SceneBox{UMin: -40, UMax: 40, YMin: 480, YMax: 560}
+	ap := geom.Aperture{Center: 0, Length: 100}
+	g := box.GridFor(ap, 64, 81, 480, 1)
+
+	img := mat.NewC(64, 81)
+	bt, bi := 30, 45
+	img.Set(bt, bi, 100)
+	th := g.Theta(bt)
+	rr := g.Range(bi)
+	x := rr * math.Cos(th)
+	y := rr * math.Sin(th)
+
+	spec, err := GroundSpecFor(box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := ToGround(img, g, 0, spec, interp.Linear)
+	if ground.Rows != spec.Rows || ground.Cols != spec.Cols {
+		t.Fatalf("ground dims %dx%d", ground.Rows, ground.Cols)
+	}
+	// Find the ground peak.
+	var pr, pc int
+	var pv float32
+	for r := 0; r < ground.Rows; r++ {
+		for c, v := range ground.Row(r) {
+			if a := cf.Abs2(v); a > pv {
+				pr, pc, pv = r, c, a
+			}
+		}
+	}
+	wr := int(math.Round((y - spec.Y0) / spec.Res))
+	wc := int(math.Round((x - spec.X0) / spec.Res))
+	if absInt(pr-wr) > 1 || absInt(pc-wc) > 1 {
+		t.Errorf("ground peak at (%d,%d), want (%d,%d)", pr, pc, wr, wc)
+	}
+	if pv == 0 {
+		t.Error("peak vanished in resampling")
+	}
+}
+
+func TestToGroundOffCenterAperture(t *testing.T) {
+	// The same polar pixel, seen from an off-centre subaperture, must land
+	// shifted along-track by the centre offset.
+	box := geom.SceneBox{UMin: -60, UMax: 60, YMin: 480, YMax: 560}
+	apC := geom.Aperture{Center: 0, Length: 50}
+	apO := geom.Aperture{Center: 20, Length: 50}
+	gC := box.GridFor(apC, 32, 81, 480, 1)
+	gO := box.GridFor(apO, 32, 81, 480, 1)
+
+	spec, err := GroundSpecFor(box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakOf := func(m *mat.C) (int, int) {
+		var pr, pc int
+		var pv float32
+		for r := 0; r < m.Rows; r++ {
+			for c, v := range m.Row(r) {
+				if a := cf.Abs2(v); a > pv {
+					pr, pc, pv = r, c, a
+				}
+			}
+		}
+		return pr, pc
+	}
+	// Target at scene point (10, 520): polar positions differ per frame.
+	placeAndProject := func(g geom.PolarGrid, center float64) (int, int) {
+		img := mat.NewC(32, 81)
+		rr := math.Hypot(10-center, 520)
+		th := math.Atan2(520, 10-center)
+		img.Set(int(math.Round(g.ThetaIndex(th))), int(math.Round(g.RangeIndex(rr))), 50)
+		return peakOf(ToGround(img, g, center, spec, interp.Linear))
+	}
+	r1, c1 := placeAndProject(gC, 0)
+	r2, c2 := placeAndProject(gO, 20)
+	// Both frames should reconstruct the same scene position (within the
+	// rounding of placing the polar pixel).
+	if absInt(r1-r2) > 2 || absInt(c1-c2) > 2 {
+		t.Errorf("frames disagree: (%d,%d) vs (%d,%d)", r1, c1, r2, c2)
+	}
+}
+
+func TestToGroundOutsideGridIsZero(t *testing.T) {
+	box := geom.SceneBox{UMin: -10, UMax: 10, YMin: 500, YMax: 520}
+	ap := geom.Aperture{Center: 0, Length: 10}
+	g := box.GridFor(ap, 8, 21, 500, 1)
+	img := mat.NewC(8, 21)
+	img.Fill(1)
+	// Raster extending far beyond the polar grid's range interval.
+	spec := GroundSpec{X0: -10, Y0: 560, Res: 1, Rows: 5, Cols: 5}
+	ground := ToGround(img, g, 0, spec, interp.Nearest)
+	for r := 0; r < 5; r++ {
+		for _, v := range ground.Row(r) {
+			if v != 0 {
+				t.Fatalf("out-of-grid pixel %v", v)
+			}
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,104 @@
+package imageio
+
+import (
+	"bufio"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sarmany/internal/mat"
+)
+
+func testImage() *mat.C {
+	img := mat.NewC(4, 6)
+	img.Set(1, 2, complex(10, 0)) // peak
+	img.Set(2, 3, complex(1, 0))  // -20 dB
+	return img
+}
+
+func TestRenderPeakWhite(t *testing.T) {
+	g := Render(testImage(), 60)
+	if got := g.GrayAt(2, 1).Y; got != 255 {
+		t.Errorf("peak pixel = %d, want 255", got)
+	}
+	// -20 dB of a 60 dB range: 255*(40/60) = 170.
+	if got := g.GrayAt(3, 2).Y; got < 168 || got > 172 {
+		t.Errorf("-20 dB pixel = %d, want ~170", got)
+	}
+	// Zero pixels at the bottom of the range.
+	if got := g.GrayAt(0, 0).Y; got != 0 {
+		t.Errorf("zero pixel = %d", got)
+	}
+}
+
+func TestRenderZeroImage(t *testing.T) {
+	g := Render(mat.NewC(3, 3), 60)
+	for i := range g.Pix {
+		if g.Pix[i] != 0 {
+			t.Fatal("zero image not black")
+		}
+	}
+}
+
+func TestRenderDefaultRange(t *testing.T) {
+	g := Render(testImage(), 0) // falls back to 60 dB
+	if got := g.GrayAt(2, 1).Y; got != 255 {
+		t.Errorf("peak = %d", got)
+	}
+}
+
+func TestSavePNGRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.png")
+	if err := Save(path, testImage(), 60); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 6 || decoded.Bounds().Dy() != 4 {
+		t.Errorf("decoded bounds %v", decoded.Bounds())
+	}
+}
+
+func TestSavePGMFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.pgm")
+	if err := Save(path, testImage(), 60); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscanf(r, "P%s\n%d %d\n%d\n", &magic, &w, &h, &maxv); err != nil {
+		t.Fatal(err)
+	}
+	magic = "P" + magic
+	if magic != "P5" || w != 6 || h != 4 || maxv != 255 {
+		t.Errorf("header %q %d %d %d", magic, w, h, maxv)
+	}
+	rest := make([]byte, w*h+1)
+	n, _ := r.Read(rest)
+	if n != w*h {
+		t.Errorf("payload %d bytes, want %d", n, w*h)
+	}
+}
+
+func TestSaveUnknownExtension(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "img.bmp"), testImage(), 60); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}

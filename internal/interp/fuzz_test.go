@@ -1,0 +1,46 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAt1 ensures the interpolation kernels never panic or index out of
+// range for any finite sampling position, and that out-of-support
+// positions yield exactly zero.
+func FuzzAt1(f *testing.F) {
+	f.Add(0.0, 5)
+	f.Add(-1e9, 3)
+	f.Add(1e9, 1)
+	f.Add(2.5, 8)
+	f.Add(math.MaxFloat64, 4)
+	f.Fuzz(func(t *testing.T, x float64, n int) {
+		if math.IsNaN(x) {
+			return
+		}
+		if n < 0 {
+			n = -n
+		}
+		n = n%32 + 1
+		v := make([]complex64, n)
+		for i := range v {
+			v[i] = complex(float32(i), -float32(i))
+		}
+		for _, k := range []Kind{Nearest, Linear, Cubic} {
+			got := At1(v, x, k)
+			if x < -4 || x > float64(n)+4 {
+				if got != 0 {
+					t.Fatalf("%v at %v (n=%d) = %v, want 0 far outside", k, x, n, got)
+				}
+			}
+			re, im := float64(real(got)), float64(imag(got))
+			if math.IsNaN(re) || math.IsNaN(im) {
+				// NaN can only arise from genuinely huge extrapolation
+				// coefficients; inside the sample range it is a bug.
+				if x >= 0 && x <= float64(n-1) {
+					t.Fatalf("%v at %v produced NaN inside range", k, x)
+				}
+			}
+		}
+	})
+}

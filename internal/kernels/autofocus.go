@@ -1,0 +1,361 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/machine"
+	"sarmany/internal/mat"
+)
+
+// BlockPair is one autofocus work item: the two 6x6 pixel blocks from the
+// contributing subaperture images f- and f+.
+type BlockPair struct {
+	Minus, Plus autofocus.Block
+}
+
+// The autofocus workload, following the paper: for every block pair,
+// several candidate flight-path compensations are tried ("several
+// different flight path compensations are thus tested before a merge"),
+// each requiring the full range-interpolation / beam-interpolation /
+// correlation / summation pipeline on both blocks. Scores[i][j] is the
+// criterion of pair i under shift candidate j; each value equals
+// autofocus.Criterion(pair.Minus, pair.Plus, shift) exactly.
+
+const (
+	blockPx = autofocus.BlockSize * autofocus.BlockSize
+	interpN = autofocus.InterpSize
+	// PipelineCores is the number of cores one streaming autofocus
+	// pipeline occupies (paper Fig. 9): 2 blocks x (3 range + 3 beam)
+	// interpolators plus the common correlation core.
+	PipelineCores = 13
+)
+
+// resampleBlock runs the charged two-stage Neville interpolation of one
+// block under shift s, matching autofocus.Resample bit for bit. The block
+// values are assumed already loaded into registers/local storage (the
+// caller charges the loads).
+func resampleBlock(m machine.Machine, b *autofocus.Block, s autofocus.Shift) autofocus.Interpolated {
+	// Range stage: 6 rows x 3 sliding windows.
+	var mid [autofocus.BlockSize][interpN]complex64
+	for r := 0; r < autofocus.BlockSize; r++ {
+		m.FMA(1) // off = DRange + Tilt*r
+		off := s.DRange + s.Tilt*float64(r)
+		for j := 0; j < interpN; j++ {
+			var taps [4]complex64
+			copy(taps[:], b[r][j:j+4])
+			m.IOp(2)
+			mid[r][j] = neville4(m, taps, float32(1.5+off))
+		}
+	}
+	// Beam stage: 3 columns x 3 sliding windows.
+	var out autofocus.Interpolated
+	for i := 0; i < interpN; i++ {
+		for j := 0; j < interpN; j++ {
+			taps := [4]complex64{mid[i][j], mid[i+1][j], mid[i+2][j], mid[i+3][j]}
+			m.IOp(2)
+			out[i][j] = neville4(m, taps, float32(1.5+s.DBeam))
+		}
+	}
+	return out
+}
+
+// correlate runs the charged focus-criterion summation (paper eq. 6) over
+// two interpolated subimages, matching autofocus.Correlate exactly.
+func correlate(m machine.Machine, a, b *autofocus.Interpolated) float64 {
+	var sum float64
+	for i := 0; i < interpN; i++ {
+		for j := 0; j < interpN; j++ {
+			pa := abs2(m, a[i][j])
+			pb := abs2(m, b[i][j])
+			m.FMA(1)
+			sum += float64(pa) * float64(pb)
+		}
+	}
+	return sum
+}
+
+// loadBlock charges the loads that bring one 6x6 block from buf (packed
+// row-major at element offset base) into registers/local storage, and
+// returns it.
+func loadBlock(m machine.Machine, buf *machine.BufC, base int) autofocus.Block {
+	var b autofocus.Block
+	for r := 0; r < autofocus.BlockSize; r++ {
+		for c := 0; c < autofocus.BlockSize; c++ {
+			m.IOp(1)
+			b[r][c] = buf.Load(m, base+r*autofocus.BlockSize+c)
+		}
+	}
+	return b
+}
+
+// packPairs copies the block pairs into a buffer allocated from mem
+// (pair i's minus block at element 2*i*36, plus block at (2*i+1)*36).
+func packPairs(mem machine.Alloc, pairs []BlockPair) (*machine.BufC, error) {
+	buf, err := machine.NewBufC(mem, 2*blockPx*len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	for i, pr := range pairs {
+		for r := 0; r < autofocus.BlockSize; r++ {
+			copy(buf.Data[(2*i)*blockPx+r*autofocus.BlockSize:], pr.Minus[r][:])
+			copy(buf.Data[(2*i+1)*blockPx+r*autofocus.BlockSize:], pr.Plus[r][:])
+		}
+	}
+	return buf, nil
+}
+
+// SeqAutofocus evaluates the criterion of every block pair under every
+// candidate shift sequentially on machine m, with the input pixel blocks
+// streamed from mem. It returns Scores[pair][shift].
+func SeqAutofocus(m machine.Machine, mem machine.Alloc, pairs []BlockPair, shifts []autofocus.Shift) ([][]float64, error) {
+	if len(pairs) == 0 || len(shifts) == 0 {
+		return nil, fmt.Errorf("kernels: autofocus needs at least one pair and one shift")
+	}
+	buf, err := packPairs(mem, pairs)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([][]float64, len(pairs))
+	for i := range pairs {
+		minus := loadBlock(m, buf, (2*i)*blockPx)
+		plus := loadBlock(m, buf, (2*i+1)*blockPx)
+		scores[i] = make([]float64, len(shifts))
+		for j, s := range shifts {
+			a := resampleBlock(m, &minus, autofocus.Shift{})
+			b := resampleBlock(m, &plus, s)
+			scores[i][j] = correlate(m, &a, &b)
+		}
+	}
+	return scores, nil
+}
+
+// afPipeline wires one 13-core streaming pipeline (paper Fig. 9) on cores
+// [base, base+13): range interpolators 0-2 (minus block) and 6-8 (plus
+// block), beam interpolators 3-5 and 9-11, correlation core 12.
+type afPipeline struct {
+	base      int
+	pairLo    int // global index of the pipeline's first pair
+	pairs     []BlockPair
+	shifts    []autofocus.Shift
+	buf       *machine.BufC
+	scores    [][]float64 // rows pairLo.. filled by the correlation core
+	fwdM      []*emu.Link
+	fwdP      []*emu.Link
+	r2b       [6]*emu.Link
+	b2c       [6]*emu.Link
+	resultBuf *machine.BufF
+}
+
+// Pipeline-local core roles.
+const (
+	roleRangeMinus0 = 0
+	roleBeamMinus0  = 3
+	roleRangePlus0  = 6
+	roleBeamPlus0   = 9
+	roleCorr        = 12
+)
+
+func newAFPipeline(ch *emu.Chip, base, pairLo int, pairs []BlockPair, shifts []autofocus.Shift,
+	buf *machine.BufC, scores [][]float64) (*afPipeline, error) {
+	pl := &afPipeline{
+		base: base, pairLo: pairLo, pairs: pairs, shifts: shifts,
+		buf: buf, scores: scores,
+	}
+	pl.fwdM = []*emu.Link{ch.Connect(base+0, base+1, 2), ch.Connect(base+1, base+2, 2)}
+	pl.fwdP = []*emu.Link{ch.Connect(base+6, base+7, 2), ch.Connect(base+7, base+8, 2)}
+	for w := 0; w < 3; w++ {
+		pl.r2b[w] = ch.Connect(base+roleRangeMinus0+w, base+roleBeamMinus0+w, 4)
+		pl.r2b[3+w] = ch.Connect(base+roleRangePlus0+w, base+roleBeamPlus0+w, 4)
+		pl.b2c[w] = ch.Connect(base+roleBeamMinus0+w, base+roleCorr, 4)
+		pl.b2c[3+w] = ch.Connect(base+roleBeamPlus0+w, base+roleCorr, 4)
+	}
+	var err error
+	pl.resultBuf, err = machine.NewBufF(ch.Ext(), max(1, len(pairs)*len(shifts)))
+	return pl, err
+}
+
+// run executes the pipeline role of core c (pipeline-local id role).
+func (pl *afPipeline) run(c *emu.Core, role int) {
+	switch {
+	case role == roleRangeMinus0 || role == roleRangePlus0:
+		isMinus := role == roleRangeMinus0
+		blockSel := 0
+		fwd := pl.fwdM[0]
+		link := pl.r2b[0]
+		if !isMinus {
+			blockSel = 1
+			fwd = pl.fwdP[0]
+			link = pl.r2b[3]
+		}
+		local, err := machine.NewBufC(c.Bank(2), blockPx)
+		if err != nil {
+			panic(err)
+		}
+		for i := range pl.pairs {
+			d := c.DMACopyC(local, 0, pl.buf, (2*(pl.pairLo+i)+blockSel)*blockPx, blockPx)
+			c.DMAWait(d)
+			fwd.Send(c, local.Data)
+			blk := loadBlock(c, local, 0)
+			pl.rangeCoreWork(c, &blk, 0, isMinus, link)
+		}
+	case role == roleRangeMinus0+1 || role == roleRangeMinus0+2 ||
+		role == roleRangePlus0+1 || role == roleRangePlus0+2:
+		isMinus := role < roleRangePlus0
+		var in, out *emu.Link
+		var w int
+		if isMinus {
+			w = role - roleRangeMinus0
+			in = pl.fwdM[w-1]
+			if w == 1 {
+				out = pl.fwdM[1]
+			}
+		} else {
+			w = role - roleRangePlus0
+			in = pl.fwdP[w-1]
+			if w == 1 {
+				out = pl.fwdP[1]
+			}
+		}
+		link := pl.r2b[w]
+		if !isMinus {
+			link = pl.r2b[3+w]
+		}
+		for range pl.pairs {
+			vals := in.Recv(c)
+			if out != nil {
+				out.Send(c, vals)
+			}
+			var blk autofocus.Block
+			for r := 0; r < autofocus.BlockSize; r++ {
+				copy(blk[r][:], vals[r*autofocus.BlockSize:(r+1)*autofocus.BlockSize])
+			}
+			pl.rangeCoreWork(c, &blk, w, isMinus, link)
+		}
+	case (role >= roleBeamMinus0 && role < roleBeamMinus0+3) ||
+		(role >= roleBeamPlus0 && role < roleBeamPlus0+3):
+		isMinus := role < roleBeamPlus0
+		w := role - roleBeamMinus0
+		if !isMinus {
+			w = role - roleBeamPlus0
+		}
+		var in, out *emu.Link
+		if isMinus {
+			in, out = pl.r2b[w], pl.b2c[w]
+		} else {
+			in, out = pl.r2b[3+w], pl.b2c[3+w]
+		}
+		for range pl.pairs {
+			for si := range pl.shifts {
+				vals := in.Recv(c)
+				s := autofocus.Shift{}
+				if !isMinus {
+					s = pl.shifts[si]
+				}
+				var col [3]complex64
+				for i := 0; i < interpN; i++ {
+					taps := [4]complex64{vals[i], vals[i+1], vals[i+2], vals[i+3]}
+					c.IOp(2)
+					col[i] = neville4(c, taps, float32(1.5+s.DBeam))
+				}
+				out.Send(c, col[:])
+			}
+		}
+	case role == roleCorr:
+		for i := range pl.pairs {
+			for si := range pl.shifts {
+				var a, b autofocus.Interpolated
+				for w := 0; w < 3; w++ {
+					av := pl.b2c[w].Recv(c)
+					bv := pl.b2c[3+w].Recv(c)
+					for r := 0; r < interpN; r++ {
+						a[r][w] = av[r]
+						b[r][w] = bv[r]
+					}
+				}
+				sum := correlate(c, &a, &b)
+				pl.scores[pl.pairLo+i][si] = sum
+				pl.resultBuf.Store(c, i*len(pl.shifts)+si, float32(sum))
+			}
+		}
+	}
+}
+
+// rangeCoreWork runs one range core's per-pair inner loop: for every
+// candidate shift, interpolate the core's 4-column window across all six
+// rows and stream the six results to the paired beam interpolator. Minus-
+// block cores always interpolate at the nominal (zero) compensation;
+// plus-block cores apply the candidate.
+func (pl *afPipeline) rangeCoreWork(c *emu.Core, blk *autofocus.Block, w int, isMinus bool, out *emu.Link) {
+	for _, s := range pl.shifts {
+		if isMinus {
+			s = autofocus.Shift{}
+		}
+		var vals [autofocus.BlockSize]complex64
+		for r := 0; r < autofocus.BlockSize; r++ {
+			c.FMA(1)
+			off := s.DRange + s.Tilt*float64(r)
+			var taps [4]complex64
+			copy(taps[:], blk[r][w:w+4])
+			c.IOp(2)
+			vals[r] = neville4(c, taps, float32(1.5+off))
+		}
+		out.Send(c, vals[:])
+	}
+}
+
+// ParAutofocus runs the paper's MPMD streaming implementation (Sec. V-C,
+// Fig. 9) on the simulated Epiphany chip: 13 cores in a dataflow pipeline.
+// For each of the two pixel blocks, three cores compute the range
+// interpolation (each owning one 4-column sliding window, with the input
+// block forwarded core-to-core so each sees its shifted window) and three
+// cores compute the beam interpolation; a single common core computes the
+// correlation and summation and writes the criterion to external memory.
+// Intermediate results stream between neighbouring cores over the mesh
+// instead of through off-chip memory.
+//
+// Scores[pair][shift] is bit-identical to SeqAutofocus.
+func ParAutofocus(ch *emu.Chip, pairs []BlockPair, shifts []autofocus.Shift) ([][]float64, error) {
+	return ParAutofocusMulti(ch, 1, pairs, shifts)
+}
+
+// ParAutofocusMulti replicates the 13-core pipeline n times across a
+// larger mesh (e.g. four pipelines on the 64-core device the paper's
+// conclusions mention), splitting the block-pair stream across replicas.
+// Unlike FFBP, the pipeline's traffic stays on-chip, so throughput scales
+// with replicas until the input stream saturates the off-chip channel.
+func ParAutofocusMulti(ch *emu.Chip, n int, pairs []BlockPair, shifts []autofocus.Shift) ([][]float64, error) {
+	if len(pairs) == 0 || len(shifts) == 0 {
+		return nil, fmt.Errorf("kernels: autofocus needs at least one pair and one shift")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("kernels: need at least one pipeline")
+	}
+	need := n * PipelineCores
+	if len(ch.Cores) < need {
+		return nil, fmt.Errorf("kernels: %d pipelines need %d cores, chip has %d", n, need, len(ch.Cores))
+	}
+	buf, err := packPairs(ch.Ext(), pairs)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([][]float64, len(pairs))
+	for i := range scores {
+		scores[i] = make([]float64, len(shifts))
+	}
+	slices := mat.Partition(len(pairs), n)
+	pls := make([]*afPipeline, n)
+	for p := 0; p < n; p++ {
+		pls[p], err = newAFPipeline(ch, p*PipelineCores, slices[p].Lo,
+			pairs[slices[p].Lo:slices[p].Hi], shifts, buf, scores)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ch.Run(need, func(c *emu.Core) {
+		p := c.ID / PipelineCores
+		pls[p].run(c, c.ID%PipelineCores)
+	})
+	return scores, nil
+}

@@ -1,0 +1,179 @@
+package kernels
+
+import (
+	"fmt"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/flow"
+	"sarmany/internal/machine"
+)
+
+// FlowAutofocus is the paper's 13-core autofocus pipeline expressed as a
+// flow.Graph instead of hand-written per-core programs — the
+// demonstration of Sec. VI-B's programmability argument: the MPMD mapping
+// whose manual synchronization "reduces productivity" becomes a
+// declarative graph, with the channel wiring and synchronization
+// generated. Scores are bit-identical to ParAutofocus (and therefore to
+// SeqAutofocus); the timing model underneath is the same chip.
+func FlowAutofocus(ch *emu.Chip, pairs []BlockPair, shifts []autofocus.Shift) ([][]float64, error) {
+	if len(pairs) == 0 || len(shifts) == 0 {
+		return nil, fmt.Errorf("kernels: autofocus needs at least one pair and one shift")
+	}
+	if len(ch.Cores) < PipelineCores {
+		return nil, fmt.Errorf("kernels: need %d cores, chip has %d", PipelineCores, len(ch.Cores))
+	}
+	buf, err := packPairs(ch.Ext(), pairs)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([][]float64, len(pairs))
+	for i := range scores {
+		scores[i] = make([]float64, len(shifts))
+	}
+
+	g := flow.NewGraph()
+	blockName := func(isMinus bool) string {
+		if isMinus {
+			return "minus"
+		}
+		return "plus"
+	}
+
+	// Range interpolators: the head core of each chain DMAs the block from
+	// SDRAM and forwards it; the others receive and forward.
+	rangeProc := func(isMinus bool, w int) flow.Proc {
+		return func(c *flow.Ctx) {
+			blockSel := 0
+			if !isMinus {
+				blockSel = 1
+			}
+			var local *machine.BufC
+			if w == 0 {
+				var err error
+				if local, err = machine.NewBufC(c.Core.Bank(2), blockPx); err != nil {
+					panic(err)
+				}
+			}
+			for i := range pairs {
+				var blk autofocus.Block
+				if w == 0 {
+					d := c.Core.DMACopyC(local, 0, buf, (2*i+blockSel)*blockPx, blockPx)
+					c.Core.DMAWait(d)
+					c.Out("fwd").Send(local.Data)
+					blk = loadBlock(c.Core, local, 0)
+				} else {
+					vals := c.In("blk").Recv()
+					if w == 1 {
+						c.Out("fwd").Send(vals)
+					}
+					for r := 0; r < autofocus.BlockSize; r++ {
+						copy(blk[r][:], vals[r*autofocus.BlockSize:(r+1)*autofocus.BlockSize])
+					}
+				}
+				for _, s := range shifts {
+					if isMinus {
+						s = autofocus.Shift{}
+					}
+					var vals [autofocus.BlockSize]complex64
+					for r := 0; r < autofocus.BlockSize; r++ {
+						c.Core.FMA(1)
+						off := s.DRange + s.Tilt*float64(r)
+						var taps [4]complex64
+						copy(taps[:], blk[r][w:w+4])
+						c.Core.IOp(2)
+						vals[r] = neville4(c.Core, taps, float32(1.5+off))
+					}
+					c.Out("rng").Send(vals[:])
+				}
+			}
+		}
+	}
+	beamProc := func(isMinus bool) flow.Proc {
+		return func(c *flow.Ctx) {
+			for range pairs {
+				for si := range shifts {
+					vals := c.In("rng").Recv()
+					s := autofocus.Shift{}
+					if !isMinus {
+						s = shifts[si]
+					}
+					var col [3]complex64
+					for i := 0; i < interpN; i++ {
+						taps := [4]complex64{vals[i], vals[i+1], vals[i+2], vals[i+3]}
+						c.Core.IOp(2)
+						col[i] = neville4(c.Core, taps, float32(1.5+s.DBeam))
+					}
+					c.Out("beam").Send(col[:])
+				}
+			}
+		}
+	}
+
+	for _, isMinus := range []bool{true, false} {
+		b := blockName(isMinus)
+		for w := 0; w < 3; w++ {
+			if err := g.Node(fmt.Sprintf("range-%s-%d", b, w), rangeProc(isMinus, w)); err != nil {
+				return nil, err
+			}
+		}
+		for w := 0; w < 3; w++ {
+			if err := g.Node(fmt.Sprintf("beam-%s-%d", b, w), beamProc(isMinus)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Node("corr", func(c *flow.Ctx) {
+		res, err := machine.NewBufF(ch.Ext(), len(pairs)*len(shifts))
+		if err != nil {
+			panic(err)
+		}
+		ports := [6]string{"m0", "m1", "m2", "p0", "p1", "p2"}
+		for i := range pairs {
+			for si := range shifts {
+				var a, b autofocus.Interpolated
+				for w := 0; w < 3; w++ {
+					av := c.In(ports[w]).Recv()
+					bv := c.In(ports[3+w]).Recv()
+					for r := 0; r < interpN; r++ {
+						a[r][w] = av[r]
+						b[r][w] = bv[r]
+					}
+				}
+				sum := correlate(c.Core, &a, &b)
+				scores[i][si] = sum
+				res.Store(c.Core, i*len(shifts)+si, float32(sum))
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Wiring: forwarding chains, range->beam, beam->corr.
+	for bi, b := range []string{"minus", "plus"} {
+		if err := g.Connect("range-"+b+"-0", "fwd", "range-"+b+"-1", "blk", 2); err != nil {
+			return nil, err
+		}
+		if err := g.Connect("range-"+b+"-1", "fwd", "range-"+b+"-2", "blk", 2); err != nil {
+			return nil, err
+		}
+		for w := 0; w < 3; w++ {
+			if err := g.Connect(fmt.Sprintf("range-%s-%d", b, w), "rng",
+				fmt.Sprintf("beam-%s-%d", b, w), "rng", 4); err != nil {
+				return nil, err
+			}
+			port := fmt.Sprintf("%c%d", "mp"[bi], w)
+			if err := g.Connect(fmt.Sprintf("beam-%s-%d", b, w), "beam", "corr", port, 4); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Placement mirrors ParAutofocus's core assignment so the two can be
+	// compared like for like: ranges 0-2/6-8, beams 3-5/9-11, corr 12.
+	placement := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if err := g.Run(ch, placement); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}

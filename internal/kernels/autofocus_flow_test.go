@@ -1,0 +1,69 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+)
+
+func TestFlowAutofocusMatchesHandMapped(t *testing.T) {
+	pairs := testPairs(6)
+	shifts := autofocus.RangeSweep(-1.2, 1.2, 9)
+
+	chHand := emu.New(emu.E16G3())
+	hand, err := ParAutofocus(chHand, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chFlow := emu.New(emu.E16G3())
+	flowScores, err := FlowAutofocus(chFlow, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hand {
+		for j := range hand[i] {
+			if hand[i][j] != flowScores[i][j] {
+				t.Errorf("pair %d shift %d: hand %v flow %v", i, j, hand[i][j], flowScores[i][j])
+			}
+		}
+	}
+	// The generated graph uses the same primitives, so the modeled time
+	// must be very close to the hand-mapped version (no hidden abstraction
+	// cost in the model).
+	rel := math.Abs(chFlow.MaxCycles()-chHand.MaxCycles()) / chHand.MaxCycles()
+	if rel > 0.05 {
+		t.Errorf("flow version %.1f%% off the hand-mapped timing (%v vs %v cycles)",
+			rel*100, chFlow.MaxCycles(), chHand.MaxCycles())
+	}
+}
+
+func TestFlowAutofocusValidation(t *testing.T) {
+	small := emu.New(emu.E16G3().WithMesh(2, 2))
+	if _, err := FlowAutofocus(small, testPairs(1), autofocus.RangeSweep(-1, 1, 3)); err == nil {
+		t.Error("too-small chip accepted")
+	}
+	ch := emu.New(emu.E16G3())
+	if _, err := FlowAutofocus(ch, nil, autofocus.RangeSweep(-1, 1, 3)); err == nil {
+		t.Error("empty pairs accepted")
+	}
+}
+
+func TestFlowAutofocusDeterministic(t *testing.T) {
+	pairs := testPairs(3)
+	shifts := autofocus.RangeSweep(-1, 1, 5)
+	run := func() float64 {
+		ch := emu.New(emu.E16G3())
+		if _, err := FlowAutofocus(ch, pairs, shifts); err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxCycles()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v, first %v", i, got, first)
+		}
+	}
+}

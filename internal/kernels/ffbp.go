@@ -1,0 +1,302 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"sarmany/internal/emu"
+	"sarmany/internal/geom"
+	"sarmany/internal/machine"
+	"sarmany/internal/mat"
+	"sarmany/internal/sar"
+)
+
+// ffbpPlan precomputes the factorization structure shared by the FFBP
+// kernels: the aperture list and polar grid of every stage.
+type ffbpPlan struct {
+	p      sar.Params
+	box    geom.SceneBox
+	stages [][]geom.Aperture  // stages[s][i]
+	grids  [][]geom.PolarGrid // grids[s][i]
+	k      float64            // 4*pi/lambda
+}
+
+func newFFBPPlan(p sar.Params, box geom.SceneBox, data *mat.C) (*ffbpPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if data.Rows != p.NumPulses || data.Cols != p.NumBins {
+		return nil, fmt.Errorf("kernels: data is %dx%d, params say %dx%d",
+			data.Rows, data.Cols, p.NumPulses, p.NumBins)
+	}
+	if p.NumPulses&(p.NumPulses-1) != 0 {
+		return nil, fmt.Errorf("kernels: NumPulses %d is not a power of two", p.NumPulses)
+	}
+	pl := &ffbpPlan{p: p, box: box, k: 4 * math.Pi / p.Wavelength}
+	aps := geom.Stage0(p.NumPulses, -p.ApertureLength()/2, p.PulseSpacing)
+	ntheta := 1
+	for {
+		gs := make([]geom.PolarGrid, len(aps))
+		for i, a := range aps {
+			gs[i] = box.GridFor(a, ntheta, p.NumBins, p.R0, p.DR)
+		}
+		pl.stages = append(pl.stages, aps)
+		pl.grids = append(pl.grids, gs)
+		if len(aps) == 1 {
+			break
+		}
+		aps = geom.MergeStage(aps)
+		ntheta *= 2
+	}
+	return pl, nil
+}
+
+// numMerges returns the number of merge iterations (10 for 1024 pulses).
+func (pl *ffbpPlan) numMerges() int { return len(pl.stages) - 1 }
+
+// imageOff returns the element offset of subaperture i's image within a
+// stage buffer at stage s (every stage packs NumPulses*NumBins elements).
+func (pl *ffbpPlan) imageOff(s, i int) int {
+	return i * pl.grids[s][0].NTheta * pl.p.NumBins
+}
+
+// stage0Pixel computes (and charges) one carrier-removal output of the
+// initial stage: a_0(r_c) = d(r_c) * exp(+i*k*r_c). The arithmetic matches
+// ffbp.InitialStage exactly.
+func (pl *ffbpPlan) stage0Pixel(m machine.Machine, v complex64, c int) complex64 {
+	m.FMA(1) // r = R0 + c*DR
+	r := pl.p.R0 + float64(c)*pl.p.DR
+	return cmul(m, v, expi(m, float32(pl.k*r)))
+}
+
+// mergePixel computes (and charges) one element-combining output (paper
+// eq. 5) for merge s (children at stage s): parent j, beam angle theta,
+// range bin bi. Child samples are fetched through sample, which lets the
+// caller choose local-bank or external storage.
+func (pl *ffbpPlan) mergePixel(m machine.Machine, s, j int, theta float64, bi int,
+	sample func(child int, g geom.PolarGrid, r, th float64) complex64) complex64 {
+	pg := pl.grids[s+1][j]
+	m.FMA(1) // r = R0 + bi*DR
+	r := pg.Range(bi)
+	l := pl.stages[s][2*j].Length
+	r1, th1, r2, th2 := childCoords(m, r, theta, l)
+	g0 := pl.grids[s][2*j]
+	g1 := pl.grids[s][2*j+1]
+	v1 := sample(0, g0, r1, th1)
+	v2 := sample(1, g1, r2, th2)
+	return cadd(m, v1, v2)
+}
+
+// extract copies a packed stage buffer's single remaining image into a
+// mat.C (rows = beams).
+func (pl *ffbpPlan) extract(buf *machine.BufC) *mat.C {
+	nb := pl.p.NumBins
+	img := mat.NewC(pl.p.NumPulses, nb)
+	for bt := 0; bt < pl.p.NumPulses; bt++ {
+		copy(img.Row(bt), buf.Data[bt*nb:(bt+1)*nb])
+	}
+	return img
+}
+
+// SeqFFBP runs the complete fast factorized back-projection sequentially
+// on machine m, with the radar data and all subaperture images placed in
+// mem — the model's main memory: external SDRAM for a single Epiphany core
+// (the paper's sequential Epiphany implementation keeps the image data
+// off-chip) or cached DRAM for the Intel reference. It returns the final
+// image, bit-identical to ffbp.Image with nearest-neighbour interpolation.
+func SeqFFBP(m machine.Machine, mem machine.Alloc, data *mat.C, p sar.Params, box geom.SceneBox) (*mat.C, geom.PolarGrid, error) {
+	pl, err := newFFBPPlan(p, box, data)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	total := p.NumPulses * p.NumBins
+	dataBuf, err := machine.NewBufC(mem, total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	cur, err := machine.NewBufC(mem, total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	next, err := machine.NewBufC(mem, total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	for i := 0; i < p.NumPulses; i++ {
+		copy(dataBuf.Data[i*p.NumBins:(i+1)*p.NumBins], data.Row(i))
+	}
+
+	// Stage 0: carrier removal.
+	for i := 0; i < p.NumPulses; i++ {
+		for c := 0; c < p.NumBins; c++ {
+			m.IOp(2)
+			v := dataBuf.Load(m, i*p.NumBins+c)
+			cur.Store(m, i*p.NumBins+c, pl.stage0Pixel(m, v, c))
+		}
+	}
+
+	// Merge iterations.
+	nb := p.NumBins
+	for s := 0; s < pl.numMerges(); s++ {
+		parents := pl.stages[s+1]
+		ntheta := pl.grids[s+1][0].NTheta
+		for j := range parents {
+			for bt := 0; bt < ntheta; bt++ {
+				chargeBeamSetup(m)
+				theta := pl.grids[s+1][j].Theta(bt)
+				outBase := pl.imageOff(s+1, j) + bt*nb
+				for bi := 0; bi < nb; bi++ {
+					v := pl.mergePixel(m, s, j, theta, bi,
+						func(child int, g geom.PolarGrid, r, th float64) complex64 {
+							return sampleNN(m, cur, pl.imageOff(s, 2*j+child), g, r, th)
+						})
+					next.Store(m, outBase+bi, v)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return pl.extract(cur), pl.grids[len(pl.grids)-1][0], nil
+}
+
+// ParFFBP runs the paper's parallel SPMD FFBP implementation on nCores
+// cores of the simulated Epiphany chip (0 = all): the resulting image is
+// partitioned into independent slices computed in parallel (paper Fig. 6).
+// During the first merge iteration each core prefetches the two
+// contributing pulses of each of its subaperture pairs into the two upper
+// local-memory banks by DMA (paper: 16,016 bytes for two 1001-bin pulses);
+// in later iterations the contributing data no longer fits locally and is
+// read directly from external memory, while results are always written
+// back to SDRAM with posted writes. Barriers separate merge iterations.
+//
+// The returned image is bit-identical to SeqFFBP on the same input.
+func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.SceneBox) (*mat.C, geom.PolarGrid, error) {
+	pl, err := newFFBPPlan(p, box, data)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	if nCores == 0 {
+		nCores = len(ch.Cores)
+	}
+	if p.NumBins*8 > ch.P.BankBytes {
+		return nil, geom.PolarGrid{}, fmt.Errorf("kernels: a %d-bin pulse does not fit one %d-byte local bank",
+			p.NumBins, ch.P.BankBytes)
+	}
+	total := p.NumPulses * p.NumBins
+	dataBuf, err := machine.NewBufC(ch.Ext(), total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	cur, err := machine.NewBufC(ch.Ext(), total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	next, err := machine.NewBufC(ch.Ext(), total)
+	if err != nil {
+		return nil, geom.PolarGrid{}, err
+	}
+	for i := 0; i < p.NumPulses; i++ {
+		copy(dataBuf.Data[i*p.NumBins:(i+1)*p.NumBins], data.Row(i))
+	}
+
+	nb := p.NumBins
+	var kernelErr error
+	ch.Run(nCores, func(c *emu.Core) {
+		// Per-core local buffers: the two upper data banks (banks 2 and 3).
+		bankA, errA := machine.NewBufC(c.Bank(2), nb)
+		bankB, errB := machine.NewBufC(c.Bank(3), nb)
+		if errA != nil || errB != nil {
+			kernelErr = fmt.Errorf("kernels: local bank allocation failed")
+			return
+		}
+
+		// Stage 0: each core carrier-removes its slice of pulses, double-
+		// buffering the DMA prefetch across the two banks.
+		rows := mat.Partition(p.NumPulses, nCores)[c.ID]
+		banks := [2]*machine.BufC{bankA, bankB}
+		var dmas [2]emu.DMA
+		for i := rows.Lo; i < rows.Hi; i++ {
+			b := (i - rows.Lo) % 2
+			if i == rows.Lo {
+				dmas[b] = c.DMACopyC(banks[b], 0, dataBuf, i*nb, nb)
+			}
+			c.DMAWait(dmas[b])
+			if i+1 < rows.Hi {
+				nb2 := (i + 1 - rows.Lo) % 2
+				dmas[nb2] = c.DMACopyC(banks[nb2], 0, dataBuf, (i+1)*nb, nb)
+			}
+			for col := 0; col < nb; col++ {
+				c.IOp(2)
+				v := banks[b].Load(c, col)
+				cur.Store(c, i*nb+col, pl.stage0Pixel(c, v, col))
+			}
+		}
+		c.Barrier()
+		if pl.numMerges() == 0 {
+			return
+		}
+
+		// Merge iteration 1: children are single-pulse images that fit the
+		// two upper banks, so prefetch both by DMA and compute locally.
+		{
+			s := 0
+			parents := mat.Partition(len(pl.stages[1]), nCores)[c.ID]
+			for j := parents.Lo; j < parents.Hi; j++ {
+				d0 := c.DMACopyC(bankA, 0, cur, pl.imageOff(0, 2*j), nb)
+				d1 := c.DMACopyC(bankB, 0, cur, pl.imageOff(0, 2*j+1), nb)
+				c.DMAWait(d0)
+				c.DMAWait(d1)
+				locals := [2]*machine.BufC{bankA, bankB}
+				for bt := 0; bt < 2; bt++ {
+					chargeBeamSetup(c)
+					theta := pl.grids[1][j].Theta(bt)
+					outBase := pl.imageOff(1, j) + bt*nb
+					for bi := 0; bi < nb; bi++ {
+						v := pl.mergePixel(c, s, j, theta, bi,
+							func(child int, g geom.PolarGrid, r, th float64) complex64 {
+								return sampleNN(c, locals[child], 0, g, r, th)
+							})
+						next.Store(c, outBase+bi, v)
+					}
+				}
+			}
+		}
+		c.Barrier()
+		curL, nextL := next, cur
+
+		// Later merge iterations: contributing data is read directly from
+		// external memory (the paper's "in the later iterations it still
+		// requires contributing data to be read from the external memory").
+		for s := 1; s < pl.numMerges(); s++ {
+			ntheta := pl.grids[s+1][0].NTheta
+			units := mat.Partition(len(pl.stages[s+1])*ntheta, nCores)[c.ID]
+			for u := units.Lo; u < units.Hi; u++ {
+				j := u / ntheta
+				bt := u % ntheta
+				chargeBeamSetup(c)
+				theta := pl.grids[s+1][j].Theta(bt)
+				outBase := pl.imageOff(s+1, j) + bt*nb
+				for bi := 0; bi < nb; bi++ {
+					v := pl.mergePixel(c, s, j, theta, bi,
+						func(child int, g geom.PolarGrid, r, th float64) complex64 {
+							return sampleNN(c, curL, pl.imageOff(s, 2*j+child), g, r, th)
+						})
+					nextL.Store(c, outBase+bi, v)
+				}
+			}
+			c.Barrier()
+			curL, nextL = nextL, curL
+		}
+	})
+	if kernelErr != nil {
+		return nil, geom.PolarGrid{}, kernelErr
+	}
+
+	// Stage 0 wrote cur, merge 1 wrote next, and every later merge
+	// alternates: after an odd number of merges the image is in next.
+	final := cur
+	if pl.numMerges()%2 == 1 {
+		final = next
+	}
+	return pl.extract(final), pl.grids[len(pl.grids)-1][0], nil
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"testing"
+
+	"sarmany/internal/emu"
+	"sarmany/internal/gbp"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+	"sarmany/internal/refcpu"
+	"sarmany/internal/sar"
+)
+
+func TestSeqGBPMatchesHost(t *testing.T) {
+	p, box, data := testSetup()
+	full := geom.Aperture{Center: 0, Length: p.ApertureLength()}
+	grid := box.GridFor(full, p.NumPulses, p.NumBins, p.R0, p.DR)
+
+	cpu := refcpu.New(refcpu.I7M620())
+	img, err := SeqGBP(cpu, cpu.Mem(), data, p, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gbp.Image(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
+	if !img.Equal(want) {
+		t.Errorf("kernel GBP differs from host (max diff %v)", img.MaxAbsDiff(want))
+	}
+	if cpu.Cycles() <= 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestGBPSlowerThanFFBP(t *testing.T) {
+	// The paper's motivation for FFBP: "the FFBP algorithm is much faster
+	// than the GBP algorithm". On the same machine model, the modeled GBP
+	// time must exceed FFBP's by a large factor (O(N) vs O(log N) pulses
+	// per pixel: 64 vs 6 here). Use dense (noisy) data so GBP's
+	// skip-zero-contributions optimization reflects a real scene.
+	p, box, data := testSetup()
+	sar.AddNoise(data, 0.1, 5)
+	full := geom.Aperture{Center: 0, Length: p.ApertureLength()}
+	grid := box.GridFor(full, p.NumPulses, p.NumBins, p.R0, p.DR)
+
+	cpuG := refcpu.New(refcpu.I7M620())
+	if _, err := SeqGBP(cpuG, cpuG.Mem(), data, p, grid); err != nil {
+		t.Fatal(err)
+	}
+	cpuF := refcpu.New(refcpu.I7M620())
+	if _, _, err := SeqFFBP(cpuF, cpuF.Mem(), data, p, box); err != nil {
+		t.Fatal(err)
+	}
+	ratio := cpuG.Seconds() / cpuF.Seconds()
+	if ratio < 2 {
+		t.Errorf("GBP only %.2fx slower than FFBP; expected a large factor", ratio)
+	}
+}
+
+func TestSeqGBPOnEpiphanyCore(t *testing.T) {
+	p, box, data := testSetup()
+	full := geom.Aperture{Center: 0, Length: p.ApertureLength()}
+	grid := box.GridFor(full, p.NumPulses, p.NumBins, p.R0, p.DR)
+	ch := emu.New(emu.E16G3())
+	img, err := SeqGBP(ch.Cores[0], ch.Ext(), data, p, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gbp.Image(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
+	if !img.Equal(want) {
+		t.Error("Epiphany GBP image differs from host")
+	}
+}
+
+func TestSeqGBPRejectsBadInput(t *testing.T) {
+	p, _, _ := testSetup()
+	cpu := refcpu.New(refcpu.I7M620())
+	grid := geom.NewPolarGrid(10, 500, 1, 4, 1.4, 1.7)
+	if _, err := SeqGBP(cpu, cpu.Mem(), mat.NewC(2, 2), p, grid); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	bad := p
+	bad.DR = -1
+	if _, err := SeqGBP(cpu, cpu.Mem(), mat.NewC(p.NumPulses, p.NumBins), bad, grid); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,274 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/ffbp"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+	"sarmany/internal/refcpu"
+	"sarmany/internal/sar"
+)
+
+func testSetup() (sar.Params, geom.SceneBox, *mat.C) {
+	p := sar.DefaultParams()
+	p.NumPulses = 64
+	p.NumBins = 161
+	p.R0 = 500
+	box := geom.SceneBox{UMin: -20, UMax: 20, YMin: 510, YMax: 570, ThetaPad: 0.05}
+	data := sar.Simulate(p, []sar.Target{{U: 5, Y: 540, Amp: 1}, {U: -10, Y: 555, Amp: 0.7}}, nil)
+	return p, box, data
+}
+
+func TestSeqFFBPMatchesHostOnIntel(t *testing.T) {
+	p, box, data := testSetup()
+	cpu := refcpu.New(refcpu.I7M620())
+	img, grid, err := SeqFFBP(cpu, cpu.Mem(), data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantGrid, err := ffbp.Image(data, p, box, ffbp.Config{Interp: interp.Nearest, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid != wantGrid {
+		t.Fatalf("grid mismatch: %+v vs %+v", grid, wantGrid)
+	}
+	if !img.Equal(want) {
+		t.Errorf("kernel image differs from host FFBP (max diff %v)", img.MaxAbsDiff(want))
+	}
+	if cpu.Cycles() <= 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestSeqFFBPMatchesHostOnEpiphanyCore(t *testing.T) {
+	p, box, data := testSetup()
+	ch := emu.New(emu.E16G3())
+	core := ch.Cores[0]
+	img, _, err := SeqFFBP(core, ch.Ext(), data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ffbp.Image(data, p, box, ffbp.Config{Interp: interp.Nearest, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(want) {
+		t.Errorf("kernel image differs from host FFBP (max diff %v)", img.MaxAbsDiff(want))
+	}
+	if core.Stats.ExtReads == 0 || core.Stats.ExtWrites == 0 {
+		t.Error("sequential Epiphany FFBP should hit external memory")
+	}
+}
+
+func TestParFFBPMatchesSeq(t *testing.T) {
+	p, box, data := testSetup()
+	chSeq := emu.New(emu.E16G3())
+	seqImg, _, err := SeqFFBP(chSeq.Cores[0], chSeq.Ext(), data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chPar := emu.New(emu.E16G3())
+	parImg, _, err := ParFFBP(chPar, 16, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parImg.Equal(seqImg) {
+		t.Errorf("parallel image differs from sequential (max diff %v)", parImg.MaxAbsDiff(seqImg))
+	}
+	// The parallel implementation must actually be faster.
+	seqT := chSeq.Cores[0].Cycles()
+	parT := chPar.MaxCycles()
+	if parT >= seqT {
+		t.Errorf("parallel (%v cycles) not faster than sequential (%v)", parT, seqT)
+	}
+	// And it must have used DMA prefetch and barriers.
+	st := chPar.TotalStats()
+	if st.DMATransfers == 0 || st.BarrierWaits == 0 {
+		t.Errorf("parallel stats missing DMA/barriers: %+v", st)
+	}
+}
+
+func TestParFFBPDeterministic(t *testing.T) {
+	p, box, data := testSetup()
+	run := func() float64 {
+		ch := emu.New(emu.E16G3())
+		if _, _, err := ParFFBP(ch, 16, data, p, box); err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxCycles()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v cycles, first %v", i, got, first)
+		}
+	}
+}
+
+func TestParFFBPWorksOnFewerCores(t *testing.T) {
+	p, box, data := testSetup()
+	ch4 := emu.New(emu.E16G3())
+	img4, _, err := ParFFBP(ch4, 4, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch16 := emu.New(emu.E16G3())
+	img16, _, err := ParFFBP(ch16, 16, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img4.Equal(img16) {
+		t.Error("4-core and 16-core images differ")
+	}
+	if ch16.MaxCycles() >= ch4.MaxCycles() {
+		t.Errorf("16 cores (%v) not faster than 4 (%v)", ch16.MaxCycles(), ch4.MaxCycles())
+	}
+}
+
+func TestFFBPRejectsBadInput(t *testing.T) {
+	p, box, data := testSetup()
+	cpu := refcpu.New(refcpu.I7M620())
+	p2 := p
+	p2.NumPulses = 60 // not a power of two
+	if _, _, err := SeqFFBP(cpu, cpu.Mem(), data, p2, box); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, _, err := SeqFFBP(cpu, cpu.Mem(), mat.NewC(2, 2), p, box); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	pWide := p
+	pWide.NumBins = 2000 // does not fit a local bank
+	ch := emu.New(emu.E16G3())
+	if _, _, err := ParFFBP(ch, 16, mat.NewC(pWide.NumPulses, 2000), pWide, box); err == nil {
+		t.Error("oversized pulse accepted by parallel kernel")
+	}
+}
+
+// testPairs builds block pairs with smooth content so criterion values are
+// well-conditioned.
+func testPairs(n int) []BlockPair {
+	out := make([]BlockPair, n)
+	for i := range out {
+		var m, p autofocus.Block
+		for r := 0; r < autofocus.BlockSize; r++ {
+			for c := 0; c < autofocus.BlockSize; c++ {
+				dr := float64(r) - 2.5
+				dc := float64(c) - 2.3 - 0.1*float64(i%3)
+				a := float32(math.Exp(-(dr*dr + dc*dc) / 3))
+				m[r][c] = complex(a, a/2)
+				dc += 0.4
+				b := float32(math.Exp(-(dr*dr + dc*dc) / 3))
+				p[r][c] = complex(b, -b/3)
+			}
+		}
+		out[i] = BlockPair{Minus: m, Plus: p}
+	}
+	return out
+}
+
+func TestSeqAutofocusMatchesHost(t *testing.T) {
+	pairs := testPairs(3)
+	shifts := autofocus.RangeSweep(-1, 1, 9)
+	cpu := refcpu.New(refcpu.I7M620())
+	scores, err := SeqAutofocus(cpu, cpu.Mem(), pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 || len(scores[0]) != 9 {
+		t.Fatalf("scores shape %dx%d", len(scores), len(scores[0]))
+	}
+	for i, pr := range pairs {
+		for j, s := range shifts {
+			want := autofocus.Criterion(&pr.Minus, &pr.Plus, s)
+			if scores[i][j] != want {
+				t.Errorf("pair %d shift %d: %v, host %v", i, j, scores[i][j], want)
+			}
+		}
+	}
+	if cpu.Cycles() <= 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestParAutofocusMatchesSeq(t *testing.T) {
+	pairs := testPairs(4)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, 11)
+	chSeq := emu.New(emu.E16G3())
+	seqScores, err := SeqAutofocus(chSeq.Cores[0], chSeq.Ext(), pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chPar := emu.New(emu.E16G3())
+	parScores, err := ParAutofocus(chPar, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqScores {
+		for j := range seqScores[i] {
+			if parScores[i][j] != seqScores[i][j] {
+				t.Errorf("pair %d shift %d: par %v seq %v", i, j, parScores[i][j], seqScores[i][j])
+			}
+		}
+	}
+}
+
+func TestParAutofocusPipelineSpeedup(t *testing.T) {
+	// With a long stream, the 13-core pipeline sustains a large speedup
+	// over one core (paper: 10.9x).
+	pairs := testPairs(8)
+	shifts := autofocus.RangeSweep(-1, 1, 16)
+	chSeq := emu.New(emu.E16G3())
+	if _, err := SeqAutofocus(chSeq.Cores[0], chSeq.Ext(), pairs, shifts); err != nil {
+		t.Fatal(err)
+	}
+	chPar := emu.New(emu.E16G3())
+	if _, err := ParAutofocus(chPar, pairs, shifts); err != nil {
+		t.Fatal(err)
+	}
+	speedup := chSeq.Cores[0].Cycles() / chPar.MaxCycles()
+	if speedup < 4 || speedup > 13 {
+		t.Errorf("pipeline speedup %v outside [4, 13]", speedup)
+	}
+}
+
+func TestParAutofocusDeterministic(t *testing.T) {
+	pairs := testPairs(3)
+	shifts := autofocus.RangeSweep(-1, 1, 7)
+	run := func() float64 {
+		ch := emu.New(emu.E16G3())
+		if _, err := ParAutofocus(ch, pairs, shifts); err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxCycles()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v cycles, first %v", i, got, first)
+		}
+	}
+}
+
+func TestAutofocusRejectsEmptyInput(t *testing.T) {
+	cpu := refcpu.New(refcpu.I7M620())
+	if _, err := SeqAutofocus(cpu, cpu.Mem(), nil, autofocus.RangeSweep(-1, 1, 3)); err == nil {
+		t.Error("empty pairs accepted")
+	}
+	if _, err := SeqAutofocus(cpu, cpu.Mem(), testPairs(1), nil); err == nil {
+		t.Error("empty shifts accepted")
+	}
+	ch := emu.New(emu.E16G3())
+	if _, err := ParAutofocus(ch, nil, autofocus.RangeSweep(-1, 1, 3)); err == nil {
+		t.Error("empty pairs accepted by parallel kernel")
+	}
+	small := emu.New(emu.E16G3().WithMesh(2, 2))
+	if _, err := ParAutofocus(small, testPairs(1), autofocus.RangeSweep(-1, 1, 3)); err == nil {
+		t.Error("too-small chip accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package kernels
+
+import (
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+)
+
+func TestParAutofocusMultiMatchesSingle(t *testing.T) {
+	pairs := testPairs(12)
+	shifts := autofocus.RangeSweep(-1, 1, 9)
+
+	chSingle := emu.New(emu.E16G3())
+	single, err := ParAutofocus(chSingle, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chMulti := emu.New(emu.E64())
+	multi, err := ParAutofocusMulti(chMulti, 4, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		for j := range single[i] {
+			if single[i][j] != multi[i][j] {
+				t.Errorf("pair %d shift %d: single %v multi %v", i, j, single[i][j], multi[i][j])
+			}
+		}
+	}
+}
+
+func TestParAutofocusMultiScalesThroughput(t *testing.T) {
+	// Four pipelines on the 64-core device should process a long stream
+	// close to 4x faster than one pipeline: the autofocus traffic stays
+	// on-chip, so replicas barely contend (unlike FFBP).
+	pairs := testPairs(32)
+	shifts := autofocus.RangeSweep(-1, 1, 16)
+
+	ch1 := emu.New(emu.E64())
+	if _, err := ParAutofocusMulti(ch1, 1, pairs, shifts); err != nil {
+		t.Fatal(err)
+	}
+	ch4 := emu.New(emu.E64())
+	if _, err := ParAutofocusMulti(ch4, 4, pairs, shifts); err != nil {
+		t.Fatal(err)
+	}
+	speedup := ch1.MaxCycles() / ch4.MaxCycles()
+	if speedup < 3 || speedup > 4.5 {
+		t.Errorf("4-pipeline speedup %v, want ~4", speedup)
+	}
+}
+
+func TestParAutofocusMultiDeterministic(t *testing.T) {
+	pairs := testPairs(8)
+	shifts := autofocus.RangeSweep(-1, 1, 5)
+	run := func() float64 {
+		ch := emu.New(emu.E64())
+		if _, err := ParAutofocusMulti(ch, 3, pairs, shifts); err != nil {
+			t.Fatal(err)
+		}
+		return ch.MaxCycles()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v, first %v", i, got, first)
+		}
+	}
+}
+
+func TestParAutofocusMultiValidation(t *testing.T) {
+	pairs := testPairs(4)
+	shifts := autofocus.RangeSweep(-1, 1, 3)
+	ch := emu.New(emu.E16G3())
+	if _, err := ParAutofocusMulti(ch, 2, pairs, shifts); err == nil {
+		t.Error("2 pipelines on 16 cores accepted")
+	}
+	if _, err := ParAutofocusMulti(ch, 0, pairs, shifts); err == nil {
+		t.Error("0 pipelines accepted")
+	}
+	// More pipelines than pairs still works (some replicas idle).
+	ch64 := emu.New(emu.E64())
+	scores, err := ParAutofocusMulti(ch64, 4, pairs[:2], shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Errorf("%d score rows", len(scores))
+	}
+}

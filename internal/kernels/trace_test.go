@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"testing"
+
+	"sarmany/internal/emu"
+)
+
+// TestFFBPPhaseNarrative checks that the simulated execution tells the
+// paper's story about where parallel FFBP's time goes: at the nominal
+// off-chip bandwidth the merge phases are bandwidth-bound ("the frequent
+// off-chip memory accesses performed in the parallel FFBP implementation
+// limits the speedup"), and with ample bandwidth they become
+// compute-bound.
+func TestFFBPPhaseNarrative(t *testing.T) {
+	p, box, data := testSetup()
+
+	nominal := emu.E16G3()
+	chN := emu.New(nominal)
+	if _, _, err := ParFFBP(chN, 16, data, p, box); err != nil {
+		t.Fatal(err)
+	}
+	bwBound := 0
+	for _, ph := range chN.Phases() {
+		if ph.BandwidthBound {
+			bwBound++
+		}
+	}
+	if bwBound < len(chN.Phases())/2 {
+		t.Errorf("only %d of %d phases bandwidth-bound at nominal bandwidth",
+			bwBound, len(chN.Phases()))
+	}
+
+	ample := nominal
+	ample.ExtBytesPerCycle *= 16
+	chA := emu.New(ample)
+	if _, _, err := ParFFBP(chA, 16, data, p, box); err != nil {
+		t.Fatal(err)
+	}
+	bwBound = 0
+	for _, ph := range chA.Phases() {
+		if ph.BandwidthBound {
+			bwBound++
+		}
+	}
+	if bwBound > len(chA.Phases())/2 {
+		t.Errorf("%d of %d phases still bandwidth-bound with 16x bandwidth",
+			bwBound, len(chA.Phases()))
+	}
+	// Phases are contiguous and cover the run.
+	ps := chA.Phases()
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start != ps[i-1].End {
+			t.Fatalf("phase %d not contiguous", i)
+		}
+	}
+	if last := ps[len(ps)-1].End; last != chA.MaxCycles() {
+		t.Errorf("last phase ends at %v, chip at %v", last, chA.MaxCycles())
+	}
+}

@@ -1,0 +1,192 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/mat"
+)
+
+// sincCut samples |sinc(x/w)| at n points with the peak at centre.
+func sincCut(n int, w float64) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		x := float64(i-n/2) / w
+		v := 1.0
+		if x != 0 {
+			v = math.Abs(math.Sin(math.Pi*x) / (math.Pi * x))
+		}
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func TestCuts(t *testing.T) {
+	f := mat.NewF(3, 4)
+	f.Set(1, 2, 5)
+	f.Set(2, 2, 7)
+	r := RangeCut(f, 1)
+	if len(r) != 4 || r[2] != 5 {
+		t.Errorf("RangeCut = %v", r)
+	}
+	a := AzimuthCut(f, 2)
+	if len(a) != 3 || a[1] != 5 || a[2] != 7 {
+		t.Errorf("AzimuthCut = %v", a)
+	}
+	// Cuts are copies, not views.
+	r[0] = 99
+	if f.At(1, 0) == 99 {
+		t.Error("RangeCut aliases the image")
+	}
+}
+
+func TestIRWOfSinc(t *testing.T) {
+	// The -3 dB width of |sinc(x/w)| is about 0.886*w samples.
+	for _, w := range []float64{4, 8, 16} {
+		cut := sincCut(257, w)
+		got, err := IRW(cut)
+		if err != nil {
+			t.Fatalf("w=%v: %v", w, err)
+		}
+		want := 0.886 * w
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("w=%v: IRW %v, want ~%v", w, got, want)
+		}
+	}
+}
+
+func TestIRWOfTriangle(t *testing.T) {
+	// Triangle peak: value 1 at centre falling by 0.25 per sample. The
+	// amplitude half-power level 1/sqrt2 is crossed at +/-(1-0.7071)/0.25.
+	cut := []float32{0, 0.25, 0.5, 0.75, 1, 0.75, 0.5, 0.25, 0}
+	got, err := IRW(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 - 1/math.Sqrt2) / 0.25
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("IRW %v, want %v", got, want)
+	}
+}
+
+func TestIRWErrors(t *testing.T) {
+	if _, err := IRW([]float32{1, 2}); err == nil {
+		t.Error("short cut accepted")
+	}
+	if _, err := IRW(make([]float32, 10)); err == nil {
+		t.Error("flat zero cut accepted")
+	}
+	// Peak at the edge: no left crossing.
+	if _, err := IRW([]float32{1, 0.5, 0.1, 0, 0}); err == nil {
+		t.Error("edge peak accepted")
+	}
+}
+
+func TestPSLROfSinc(t *testing.T) {
+	// The first sidelobe of an unweighted sinc is -13.26 dB.
+	cut := sincCut(257, 8)
+	got, err := PSLR(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-13.26)) > 0.3 {
+		t.Errorf("PSLR %v dB, want ~-13.26", got)
+	}
+}
+
+func TestPSLRRespondsToSidelobeLevel(t *testing.T) {
+	mk := func(side float32) []float32 {
+		return []float32{0, side, 0, 0.5, 1, 0.5, 0, side, 0}
+	}
+	lo, err := PSLR(mk(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := PSLR(mk(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi > lo) {
+		t.Errorf("higher sidelobe should raise PSLR: %v vs %v", hi, lo)
+	}
+	if math.Abs(lo-20*math.Log10(0.1)) > 1e-6 {
+		t.Errorf("PSLR %v, want %v", lo, 20*math.Log10(0.1))
+	}
+}
+
+func TestPSLRErrors(t *testing.T) {
+	if _, err := PSLR([]float32{1, 0}); err == nil {
+		t.Error("short cut accepted")
+	}
+	if _, err := PSLR(make([]float32, 10)); err == nil {
+		t.Error("flat cut accepted")
+	}
+	// Monotone decay: no sidelobe at all.
+	if _, err := PSLR([]float32{1, 0.8, 0.6, 0.4, 0.2, 0.1, 0}); err == nil {
+		t.Error("sidelobe-free cut accepted")
+	}
+}
+
+func TestMeasurePointResponse(t *testing.T) {
+	// Separable |sinc| point response centred in the image.
+	n := 65
+	f := mat.NewF(n, n)
+	rc := sincCut(n, 6)
+	ac := sincCut(n, 10)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			f.Set(r, c, ac[r]*rc[c])
+		}
+	}
+	res, err := MeasurePointResponse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakRow != n/2 || res.PeakCol != n/2 {
+		t.Errorf("peak at (%d,%d)", res.PeakRow, res.PeakCol)
+	}
+	if math.Abs(res.RangeIRW-0.886*6) > 0.6 {
+		t.Errorf("range IRW %v", res.RangeIRW)
+	}
+	if math.Abs(res.AzimuthIRW-0.886*10) > 1.0 {
+		t.Errorf("azimuth IRW %v", res.AzimuthIRW)
+	}
+	if res.RangePSLR > -12 || res.RangePSLR < -15 {
+		t.Errorf("range PSLR %v", res.RangePSLR)
+	}
+	if res.AzimuthPSLR > -12 || res.AzimuthPSLR < -15 {
+		t.Errorf("azimuth PSLR %v", res.AzimuthPSLR)
+	}
+}
+
+func TestMeasurePointResponseEdgePeak(t *testing.T) {
+	f := mat.NewF(8, 8)
+	f.Set(0, 0, 1)
+	if _, err := MeasurePointResponse(f); err == nil {
+		t.Error("edge peak accepted")
+	}
+}
+
+func TestMeasurePointResponseNoSidelobes(t *testing.T) {
+	// A smooth monotone response has measurable IRWs but no sidelobes:
+	// PSLRs become NaN, not an error.
+	n := 33
+	f := mat.NewF(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			dr := float64(r - n/2)
+			dc := float64(c - n/2)
+			f.Set(r, c, float32(math.Exp(-(dr*dr+dc*dc)/20)))
+		}
+	}
+	res, err := MeasurePointResponse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RangeIRW <= 0 || res.AzimuthIRW <= 0 {
+		t.Errorf("IRWs %v %v", res.RangeIRW, res.AzimuthIRW)
+	}
+	if !math.IsNaN(res.RangePSLR) || !math.IsNaN(res.AzimuthPSLR) {
+		t.Errorf("PSLRs %v %v, want NaN", res.RangePSLR, res.AzimuthPSLR)
+	}
+}

@@ -1,0 +1,235 @@
+// Package report drives the paper's experiments end to end and formats
+// their results: Table I (resources, performance and estimated power of
+// the FFBP and autofocus criterion implementations), the energy-efficiency
+// ratios of Sec. VI-A, and the Fig. 7 image set. It is shared by
+// cmd/benchtab and the top-level benchmark suite.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/energy"
+	"sarmany/internal/geom"
+	"sarmany/internal/kernels"
+	"sarmany/internal/refcpu"
+	"sarmany/internal/sar"
+)
+
+// Config selects the workload scale and the machine parameters for a
+// Table I run.
+type Config struct {
+	Params  sar.Params
+	Box     geom.SceneBox
+	Targets []sar.Target
+
+	// Autofocus workload: Pairs block pairs, each evaluated under Shifts
+	// candidate flight-path compensations.
+	Pairs, Shifts int
+
+	Epiphany emu.Params
+	Intel    refcpu.Params
+	// FFBPCores is the core count of the parallel FFBP run (16 in the
+	// paper); the autofocus pipeline always uses 13 cores.
+	FFBPCores int
+}
+
+// DefaultBox returns the scene box used for imaging with parameters p:
+// the central part of the swath, wide enough for the six-target scene.
+func DefaultBox(p sar.Params) geom.SceneBox {
+	span := float64(p.NumBins-1) * p.DR
+	return geom.SceneBox{
+		UMin: -0.15 * p.ApertureLength(), UMax: 0.15 * p.ApertureLength(),
+		YMin:     p.R0 + 0.2*span,
+		YMax:     p.R0 + 0.8*span,
+		ThetaPad: 0.05,
+	}
+}
+
+// Default returns the paper-scale configuration: 1024 pulses x 1001 range
+// bins (ten merge iterations to a 1024x1001-pixel image), the six-target
+// validation scene, and an autofocus stream of 64 block pairs x 32
+// candidate compensations.
+func Default() Config {
+	p := sar.DefaultParams()
+	return Config{
+		Params:    p,
+		Box:       DefaultBox(p),
+		Targets:   sar.SixTargetScene(p),
+		Pairs:     64,
+		Shifts:    32,
+		Epiphany:  emu.E16G3(),
+		Intel:     refcpu.I7M620(),
+		FFBPCores: 16,
+	}
+}
+
+// Small returns a reduced configuration for tests: the same structure at
+// 1/16 the image size.
+func Small() Config {
+	c := Default()
+	c.Params.NumPulses = 128
+	c.Params.NumBins = 251
+	c.Params.R0 = 1000
+	c.Box = DefaultBox(c.Params)
+	c.Targets = []sar.Target{
+		{U: -15, Y: c.Params.CenterRange() - 20, Amp: 1},
+		{U: 15, Y: c.Params.CenterRange() + 20, Amp: 1},
+	}
+	c.Pairs = 8
+	c.Shifts = 8
+	return c
+}
+
+// Row is one implementation line of Table I.
+type Row struct {
+	Impl    string
+	Cores   int
+	Seconds float64
+	// PixPerSec is the throughput in processed pixels per second (the
+	// paper reports it for the autofocus case study).
+	PixPerSec float64
+	// Speedup is relative to the sequential Intel implementation.
+	Speedup float64
+	// PowerW is the estimated power from datasheet figures.
+	PowerW float64
+}
+
+// Estimate converts the row to an energy estimate over its workload.
+func (r Row) Estimate() energy.Estimate {
+	return energy.Estimate{Seconds: r.Seconds, Watts: r.PowerW, WorkUnits: r.PixPerSec * r.Seconds}
+}
+
+// Table1 holds the reproduced paper Table I plus the derived energy
+// ratios.
+type Table1 struct {
+	FFBP      [3]Row // seq Intel, seq Epiphany, parallel Epiphany
+	Autofocus [3]Row
+	// FFBPEnergyRatio and AutofocusEnergyRatio are the Sec. VI-A
+	// throughput-per-watt ratios of the parallel Epiphany implementations
+	// over sequential Intel (paper: 38x and 78x).
+	FFBPEnergyRatio      float64
+	AutofocusEnergyRatio float64
+}
+
+// RunTable1 executes all six implementations of Table I on freshly
+// constructed machine models and returns the measured table.
+func RunTable1(cfg Config) (*Table1, error) {
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	imgPixels := float64(cfg.Params.NumPulses * cfg.Params.NumBins)
+
+	var t Table1
+
+	// FFBP sequential on the Intel reference.
+	cpu := refcpu.New(cfg.Intel)
+	if _, _, err := kernels.SeqFFBP(cpu, cpu.Mem(), data, cfg.Params, cfg.Box); err != nil {
+		return nil, fmt.Errorf("ffbp seq intel: %w", err)
+	}
+	t.FFBP[0] = Row{Impl: "Sequential on Intel i7", Cores: 1,
+		Seconds: cpu.Seconds(), PixPerSec: imgPixels / cpu.Seconds(),
+		PowerW: cfg.Intel.SingleCorePowerWatts}
+
+	// FFBP sequential on one Epiphany core.
+	chSeq := emu.New(cfg.Epiphany)
+	if _, _, err := kernels.SeqFFBP(chSeq.Cores[0], chSeq.Ext(), data, cfg.Params, cfg.Box); err != nil {
+		return nil, fmt.Errorf("ffbp seq epiphany: %w", err)
+	}
+	sec := chSeq.Cores[0].Cycles() / cfg.Epiphany.Clock
+	t.FFBP[1] = Row{Impl: "Sequential on Epiphany", Cores: 1,
+		Seconds: sec, PixPerSec: imgPixels / sec, PowerW: cfg.Epiphany.MaxPowerWatts}
+
+	// FFBP parallel on the Epiphany chip.
+	chPar := emu.New(cfg.Epiphany)
+	if _, _, err := kernels.ParFFBP(chPar, cfg.FFBPCores, data, cfg.Params, cfg.Box); err != nil {
+		return nil, fmt.Errorf("ffbp par epiphany: %w", err)
+	}
+	t.FFBP[2] = Row{Impl: "Parallel on Epiphany", Cores: cfg.FFBPCores,
+		Seconds: chPar.Time(), PixPerSec: imgPixels / chPar.Time(),
+		PowerW: cfg.Epiphany.MaxPowerWatts}
+
+	// Autofocus workload.
+	pairs := AutofocusWorkload(cfg)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+	afPixels := float64(len(pairs) * len(shifts) * autofocus.PixelsProcessed())
+
+	cpu2 := refcpu.New(cfg.Intel)
+	if _, err := kernels.SeqAutofocus(cpu2, cpu2.Mem(), pairs, shifts); err != nil {
+		return nil, fmt.Errorf("autofocus seq intel: %w", err)
+	}
+	t.Autofocus[0] = Row{Impl: "Sequential on Intel i7", Cores: 1,
+		Seconds: cpu2.Seconds(), PixPerSec: afPixels / cpu2.Seconds(),
+		PowerW: cfg.Intel.SingleCorePowerWatts}
+
+	chSeqA := emu.New(cfg.Epiphany)
+	if _, err := kernels.SeqAutofocus(chSeqA.Cores[0], chSeqA.Ext(), pairs, shifts); err != nil {
+		return nil, fmt.Errorf("autofocus seq epiphany: %w", err)
+	}
+	secA := chSeqA.Cores[0].Cycles() / cfg.Epiphany.Clock
+	t.Autofocus[1] = Row{Impl: "Sequential on Epiphany", Cores: 1,
+		Seconds: secA, PixPerSec: afPixels / secA, PowerW: cfg.Epiphany.MaxPowerWatts}
+
+	chParA := emu.New(cfg.Epiphany)
+	if _, err := kernels.ParAutofocus(chParA, pairs, shifts); err != nil {
+		return nil, fmt.Errorf("autofocus par epiphany: %w", err)
+	}
+	t.Autofocus[2] = Row{Impl: "Parallel on Epiphany", Cores: 13,
+		Seconds: chParA.Time(), PixPerSec: afPixels / chParA.Time(),
+		PowerW: cfg.Epiphany.MaxPowerWatts}
+
+	// Speedups relative to sequential Intel.
+	for i := range t.FFBP {
+		t.FFBP[i].Speedup = t.FFBP[0].Seconds / t.FFBP[i].Seconds
+	}
+	for i := range t.Autofocus {
+		t.Autofocus[i].Speedup = t.Autofocus[i].PixPerSec / t.Autofocus[0].PixPerSec
+	}
+
+	t.FFBPEnergyRatio = energy.EfficiencyRatio(t.FFBP[2].Estimate(), t.FFBP[0].Estimate())
+	t.AutofocusEnergyRatio = energy.EfficiencyRatio(t.Autofocus[2].Estimate(), t.Autofocus[0].Estimate())
+	return &t, nil
+}
+
+// AutofocusWorkload synthesizes cfg.Pairs block pairs with smooth,
+// slightly displaced content, the input stream of the autofocus criterion
+// implementations.
+func AutofocusWorkload(cfg Config) []kernels.BlockPair {
+	out := make([]kernels.BlockPair, cfg.Pairs)
+	for i := range out {
+		shift := 0.7 * math.Sin(float64(i))
+		var m, p autofocus.Block
+		for r := 0; r < autofocus.BlockSize; r++ {
+			for c := 0; c < autofocus.BlockSize; c++ {
+				dr := float64(r) - 2.5
+				dc := float64(c) - 2.5
+				a := float32(math.Exp(-(dr*dr + dc*dc) / 2.5))
+				m[r][c] = complex(a, a/3)
+				dcs := dc - shift
+				b := float32(math.Exp(-(dr*dr + dcs*dcs) / 2.5))
+				p[r][c] = complex(b, -b/4)
+			}
+		}
+		out[i] = kernels.BlockPair{Minus: m, Plus: p}
+	}
+	return out
+}
+
+// String formats the table in the layout of the paper's Table I.
+func (t *Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %12s %14s %9s %7s\n", "FFBP Implementations", "Cores", "Time (ms)", "Pixels/s", "Speedup", "Power")
+	for _, r := range t.FFBP {
+		fmt.Fprintf(&b, "%-28s %6d %12.1f %14.0f %9.2f %6.1fW\n",
+			r.Impl, r.Cores, r.Seconds*1e3, r.PixPerSec, r.Speedup, r.PowerW)
+	}
+	fmt.Fprintf(&b, "%-28s %6s %12s %14s %9s %7s\n", "Autofocus Implementations", "Cores", "Time (ms)", "Pixels/s", "Speedup", "Power")
+	for _, r := range t.Autofocus {
+		fmt.Fprintf(&b, "%-28s %6d %12.1f %14.0f %9.2f %6.1fW\n",
+			r.Impl, r.Cores, r.Seconds*1e3, r.PixPerSec, r.Speedup, r.PowerW)
+	}
+	fmt.Fprintf(&b, "Energy efficiency (throughput/W) vs sequential Intel: FFBP %.1fx, Autofocus %.1fx\n",
+		t.FFBPEnergyRatio, t.AutofocusEnergyRatio)
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package sar
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+)
+
+func TestMotionCompensateRestoresNominalData(t *testing.T) {
+	p := smallParams()
+	tg := Target{U: 0, Y: p.CenterRange(), Amp: 1}
+	pe := func(u float64) float64 { return 1.5 * math.Sin(2*math.Pi*u/40) }
+
+	clean := Simulate(p, []Target{tg}, nil)
+	dirty := Simulate(p, []Target{tg}, pe)
+	comp := MotionCompensate(dirty, p, pe)
+
+	peakBin := func(row []complex64) int {
+		best, bv := 0, float32(-1)
+		for i, v := range row {
+			if a := cf.Abs2(v); a > bv {
+				best, bv = i, a
+			}
+		}
+		return best
+	}
+	for i := 0; i < p.NumPulses; i += 3 {
+		pc := peakBin(comp.Row(i))
+		pn := peakBin(clean.Row(i))
+		if d := pc - pn; d < -1 || d > 1 {
+			t.Fatalf("pulse %d: compensated peak at %d, nominal %d", i, pc, pn)
+		}
+		// Phase at the peak is restored to the nominal value.
+		a := comp.At(i, pn)
+		b := clean.At(i, pn)
+		pa := math.Atan2(float64(imag(a)), float64(real(a)))
+		pb := math.Atan2(float64(imag(b)), float64(real(b)))
+		d := math.Mod(pa-pb+3*math.Pi, 2*math.Pi) - math.Pi
+		if math.Abs(d) > 0.35 {
+			t.Fatalf("pulse %d: residual phase %v rad", i, d)
+		}
+	}
+}
+
+func TestMotionCompensateNilPathIsIdentity(t *testing.T) {
+	p := smallParams()
+	data := Simulate(p, []Target{{U: 0, Y: p.CenterRange(), Amp: 1}}, nil)
+	if MotionCompensate(data, p, nil) != data {
+		t.Error("nil path error should return the input")
+	}
+}

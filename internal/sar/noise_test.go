@@ -1,0 +1,112 @@
+package sar
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/fft"
+	"sarmany/internal/mat"
+)
+
+func TestAddNoiseStatistics(t *testing.T) {
+	m := mat.NewC(100, 100)
+	AddNoise(m, 2.0, 42)
+	var sum, sum2 float64
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			sum += float64(real(v)) + float64(imag(v))
+			sum2 += float64(cf.Abs2(v))
+		}
+	}
+	n := float64(m.Rows * m.Cols)
+	mean := sum / (2 * n)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("noise mean %v", mean)
+	}
+	// E|z|^2 = sigma^2 = 4.
+	power := sum2 / n
+	if math.Abs(power-4) > 0.2 {
+		t.Errorf("noise power %v, want ~4", power)
+	}
+}
+
+func TestAddNoiseDeterministic(t *testing.T) {
+	a := AddNoise(mat.NewC(10, 10), 1, 7)
+	b := AddNoise(mat.NewC(10, 10), 1, 7)
+	if !a.Equal(b) {
+		t.Error("same seed gave different noise")
+	}
+	c := AddNoise(mat.NewC(10, 10), 1, 8)
+	if a.Equal(c) {
+		t.Error("different seeds gave identical noise")
+	}
+}
+
+func TestCompressWindowedLowersSidelobes(t *testing.T) {
+	p := DefaultParams()
+	p.NumPulses = 4
+	p.NumBins = 401
+	p.R0 = 500
+	ch := Chirp{Samples: 128, ResBins: 2}
+	tg := Target{U: 0, Y: p.R0 + 100, Amp: 1}
+	raw := SimulateRaw(p, ch, []Target{tg}, nil)
+
+	plain := Compress(p, ch, raw)
+	tapered := CompressWindowed(p, ch, raw, fft.Taylor)
+
+	sidelobe := func(m *mat.C) float64 {
+		row := m.Row(0)
+		// Peak and its immediate mainlobe.
+		pi, pv := 0, float32(0)
+		for i, v := range row {
+			if a := cf.Abs2(v); a > pv {
+				pi, pv = i, a
+			}
+		}
+		var side float32
+		for i, v := range row {
+			if i >= pi-6 && i <= pi+6 {
+				continue
+			}
+			if a := cf.Abs2(v); a > side {
+				side = a
+			}
+		}
+		return 10 * math.Log10(float64(side/pv))
+	}
+	sp := sidelobe(plain)
+	st := sidelobe(tapered)
+	if !(st < sp-5) {
+		t.Errorf("Taylor weighting did not lower sidelobes: %v vs %v dB", st, sp)
+	}
+	// The peak still lands at the target bin with near-unit amplitude.
+	row := tapered.Row(0)
+	pi, pv := 0, float32(0)
+	for i, v := range row {
+		if a := cf.Abs2(v); a > pv {
+			pi, pv = i, a
+		}
+	}
+	r := Range(p.TrackPos(0), nil, tg)
+	want := int(math.Round((r - p.R0) / p.DR))
+	if abs(pi-want) > 1 {
+		t.Errorf("tapered peak at %d, want %d", pi, want)
+	}
+	if amp := math.Sqrt(float64(pv)); amp < 0.5 || amp > 1.5 {
+		t.Errorf("tapered peak amplitude %v", amp)
+	}
+}
+
+func TestCompressWindowedRejectsWrongWidth(t *testing.T) {
+	p := DefaultParams()
+	p.NumPulses = 2
+	p.NumBins = 101
+	ch := p.DefaultChirp()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CompressWindowed(p, ch, mat.NewC(2, 50), fft.Hann)
+}

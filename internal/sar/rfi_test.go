@@ -1,0 +1,114 @@
+package sar
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/mat"
+)
+
+func rowPower(m *mat.C, r int) float64 {
+	var p float64
+	for _, v := range m.Row(r) {
+		p += float64(cf.Abs2(v))
+	}
+	return p / float64(m.Cols)
+}
+
+func TestInjectRFIAddsTone(t *testing.T) {
+	m := mat.NewC(4, 256)
+	InjectRFI(m, 0.1, 2, 0.3)
+	for r := 0; r < 4; r++ {
+		if p := rowPower(m, r); math.Abs(p-4) > 0.2 {
+			t.Errorf("row %d power %v, want ~4", r, p)
+		}
+	}
+	// Different rows have different phases.
+	if m.At(0, 0) == m.At(1, 0) {
+		t.Error("rows share RFI phase")
+	}
+}
+
+func TestNotchFilterRemovesTone(t *testing.T) {
+	p := smallParams()
+	tg := Target{U: 0, Y: p.CenterRange(), Amp: 1}
+	clean := Simulate(p, []Target{tg}, nil)
+	dirty := Simulate(p, []Target{tg}, nil)
+	InjectRFI(dirty, 0.23, 3, 0.7) // interference 3x the target amplitude
+
+	notched, err := NotchFilter(dirty, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notched == 0 {
+		t.Fatal("filter notched nothing")
+	}
+	// Residual error vs the clean data must be far below the injected
+	// interference power (9 per sample).
+	var resid float64
+	for r := 0; r < dirty.Rows; r++ {
+		dr, cr := dirty.Row(r), clean.Row(r)
+		for i := range dr {
+			resid += float64(cf.Abs2(dr[i] - cr[i]))
+		}
+	}
+	resid /= float64(dirty.Rows * dirty.Cols)
+	if resid > 0.9 { // >10x suppression of the 9.0 interference power
+		t.Errorf("residual power %v after notching", resid)
+	}
+	// The target peak survives.
+	mid := p.NumPulses / 2
+	r := Range(p.TrackPos(mid), nil, tg)
+	bin := int(math.Round((r - p.R0) / p.DR))
+	if a := cf.Abs(dirty.At(mid, bin)); a < 0.5 {
+		t.Errorf("target amplitude %v after notching", a)
+	}
+}
+
+func TestNotchFilterGentleOnCleanData(t *testing.T) {
+	p := smallParams()
+	tg := Target{U: 0, Y: p.CenterRange(), Amp: 1}
+	data := Simulate(p, []Target{tg}, nil)
+	ref := data.Clone()
+	// A compressed point response is itself spectrally flat-ish; with a
+	// high threshold nothing should be excised.
+	notched, err := NotchFilter(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notched > 0 {
+		// Some excision can happen; the data must remain close.
+		var resid, pow float64
+		for r := 0; r < data.Rows; r++ {
+			dr, rr := data.Row(r), ref.Row(r)
+			for i := range dr {
+				resid += float64(cf.Abs2(dr[i] - rr[i]))
+				pow += float64(cf.Abs2(rr[i]))
+			}
+		}
+		if resid > 0.05*pow {
+			t.Errorf("filter destroyed %v of clean signal energy", resid/pow)
+		}
+	}
+}
+
+func TestNotchFilterZeroRows(t *testing.T) {
+	m := mat.NewC(3, 64)
+	notched, err := NotchFilter(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notched != 0 {
+		t.Errorf("notched %d bins of silence", notched)
+	}
+}
+
+func TestNotchFilterBadThreshold(t *testing.T) {
+	if _, err := NotchFilter(mat.NewC(1, 8), 1); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	if _, err := NotchFilter(mat.NewC(1, 8), 0.5); err == nil {
+		t.Error("threshold < 1 accepted")
+	}
+}

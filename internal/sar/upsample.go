@@ -1,0 +1,78 @@
+package sar
+
+import (
+	"fmt"
+
+	"sarmany/internal/fft"
+	"sarmany/internal/mat"
+)
+
+// UpsampleRange interpolates every range profile by an integer factor
+// using FFT zero-padding (exact band-limited interpolation), returning the
+// upsampled data and the adjusted parameters (DR divided by the factor,
+// NumBins scaled accordingly).
+//
+// Range oversampling is the standard countermeasure to the quality loss
+// the paper attributes to FFBP's simplified nearest-neighbour
+// interpolation: with the profile sampled f times finer, the maximum
+// nearest-neighbour range error — and with it the phase error
+// 4*pi*err/lambda accumulated over the merge iterations — shrinks by f.
+// The related FFBP implementation the paper compares against (Lidberg et
+// al.) relies on the same technique. The cost is f times the memory
+// footprint and per-merge bandwidth, which is exactly the resource the
+// Epiphany implementation is short of — a trade-off the upsampling
+// ablation quantifies.
+func UpsampleRange(data *mat.C, p Params, factor int) (*mat.C, Params, error) {
+	if factor < 1 {
+		return nil, Params{}, fmt.Errorf("sar: upsample factor %d < 1", factor)
+	}
+	if data.Rows != p.NumPulses || data.Cols != p.NumBins {
+		return nil, Params{}, fmt.Errorf("sar: data is %dx%d, params say %dx%d",
+			data.Rows, data.Cols, p.NumPulses, p.NumBins)
+	}
+	if factor == 1 {
+		return data.Clone(), p, nil
+	}
+	n := fft.NextPow2(p.NumBins)
+	m := n * factor
+	planN := fft.MustPlan(n)
+	planM := fft.MustPlan(m)
+
+	outBins := (p.NumBins-1)*factor + 1
+	out := mat.NewC(p.NumPulses, outBins)
+	src := make([]complex64, n)
+	dst := make([]complex64, m)
+	scale := float32(factor)
+	for i := 0; i < p.NumPulses; i++ {
+		copy(src, data.Row(i))
+		for j := p.NumBins; j < n; j++ {
+			src[j] = 0
+		}
+		planN.Forward(src)
+		// Zero-pad the spectrum symmetrically: low half at the front, high
+		// half at the back, Nyquist bin split evenly.
+		for j := range dst {
+			dst[j] = 0
+		}
+		half := n / 2
+		copy(dst[:half], src[:half])
+		copy(dst[m-half:], src[n-half:])
+		if n%2 == 0 {
+			// Split the Nyquist bin to keep the signal real-compatible
+			// and the interpolation exact for band-limited input.
+			ny := src[half] * complex(0.5, 0)
+			dst[half] = ny
+			dst[m-half] = ny
+		}
+		planM.Inverse(dst)
+		row := out.Row(i)
+		for j := range row {
+			row[j] = dst[j] * complex(scale, 0)
+		}
+	}
+	q := p
+	q.DR = p.DR / float64(factor)
+	q.NumBins = outBins
+	q.EnvelopeHalfWidth = p.EnvelopeHalfWidth * factor
+	return out, q, nil
+}

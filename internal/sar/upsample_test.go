@@ -1,0 +1,90 @@
+package sar
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+)
+
+func TestUpsampleRangePreservesSamples(t *testing.T) {
+	p := smallParams()
+	data := Simulate(p, []Target{{U: 0, Y: p.CenterRange(), Amp: 1}}, nil)
+	up, q, err := UpsampleRange(data, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DR != p.DR/4 {
+		t.Errorf("DR %v", q.DR)
+	}
+	if up.Cols != (p.NumBins-1)*4+1 || q.NumBins != up.Cols {
+		t.Errorf("bins %d, params %d", up.Cols, q.NumBins)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("upsampled params invalid: %v", err)
+	}
+	// FFT interpolation is exact at the original sample positions.
+	for i := 0; i < p.NumPulses; i += 9 {
+		for j := 0; j < p.NumBins; j += 13 {
+			a := data.At(i, j)
+			b := up.At(i, j*4)
+			if cfAbs(a-b) > 1e-4*(1+cfAbs(a)) {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestUpsampleRangeInterpolatesPeak(t *testing.T) {
+	// A target midway between two original bins peaks at an odd upsampled
+	// bin close to its true range.
+	p := smallParams()
+	tg := Target{U: 0, Y: p.CenterRange() + p.DR/2, Amp: 1}
+	data := Simulate(p, []Target{tg}, nil)
+	up, q, err := UpsampleRange(data, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := p.NumPulses / 2
+	r := Range(q.TrackPos(mid), nil, tg)
+	want := int(math.Round((r - q.R0) / q.DR))
+	row := up.Row(mid)
+	best, bv := 0, float32(-1)
+	for j, v := range row {
+		if a := cf.Abs2(v); a > bv {
+			best, bv = j, a
+		}
+	}
+	if abs(best-want) > 1 {
+		t.Errorf("upsampled peak at %d, want %d", best, want)
+	}
+}
+
+func TestUpsampleRangeFactorOne(t *testing.T) {
+	p := smallParams()
+	data := Simulate(p, []Target{{U: 0, Y: p.CenterRange(), Amp: 1}}, nil)
+	up, q, err := UpsampleRange(data, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p || !up.Equal(data) {
+		t.Error("factor 1 not an identity")
+	}
+	up.Set(0, 0, 99)
+	if data.At(0, 0) == 99 {
+		t.Error("factor 1 aliases the input")
+	}
+}
+
+func TestUpsampleRangeErrors(t *testing.T) {
+	p := smallParams()
+	data := Simulate(p, nil, nil)
+	if _, _, err := UpsampleRange(data, p, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	p2 := p
+	p2.NumBins++
+	if _, _, err := UpsampleRange(data, p2, 2); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Package sizing answers the question the paper's introduction poses:
+// what on-board compute does real-time image creation need, and does a
+// given manycore configuration meet it within its power budget? "The
+// large data sets ... make it hard to meet the high performance that is
+// required for real-time image creation, i.e. when the images are created
+// during the flight. Another related challenge is to cope with the
+// increased computational demands within a limited power budget."
+//
+// The calculator combines the radar's collection rate (how fast data
+// arrives) with a measured or modeled processing throughput (how fast one
+// device forms images) to yield the real-time margin and the number of
+// devices a deployment needs.
+package sizing
+
+import (
+	"fmt"
+	"math"
+
+	"sarmany/internal/sar"
+)
+
+// Requirement captures the real-time constraint of a collection geometry:
+// the platform keeps flying, so every aperture of data must be processed
+// within the time it took to collect.
+type Requirement struct {
+	// PixelsPerImage is the output size of one processed aperture.
+	PixelsPerImage float64
+	// CollectionSeconds is the time the platform needs to collect one
+	// aperture of data (integration time).
+	CollectionSeconds float64
+	// RawBytes is the raw data volume of one aperture.
+	RawBytes float64
+}
+
+// RequirementFor derives the real-time requirement from radar parameters
+// and platform speed (m/s): the aperture of NumPulses pulses spaced
+// PulseSpacing apart takes ApertureLength/speed seconds to collect.
+func RequirementFor(p sar.Params, speedMS float64) (Requirement, error) {
+	if err := p.Validate(); err != nil {
+		return Requirement{}, err
+	}
+	if speedMS <= 0 {
+		return Requirement{}, fmt.Errorf("sizing: platform speed %v <= 0", speedMS)
+	}
+	return Requirement{
+		PixelsPerImage:    float64(p.NumPulses) * float64(p.NumBins),
+		CollectionSeconds: p.ApertureLength() / speedMS,
+		RawBytes:          float64(p.NumPulses) * float64(p.NumBins) * 8,
+	}, nil
+}
+
+// RequiredPixelRate returns the pixel throughput (pixels/s) a processor
+// must sustain to keep up with the collection.
+func (r Requirement) RequiredPixelRate() float64 {
+	if r.CollectionSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return r.PixelsPerImage / r.CollectionSeconds
+}
+
+// Capability describes one processing device: the pixel throughput it
+// sustains on the image-formation workload and its power draw. Derive the
+// numbers from a report.Table1 row or an emu run.
+type Capability struct {
+	Name       string
+	PixelsPerS float64
+	Watts      float64
+}
+
+// Plan is the sizing result for one device type against a requirement.
+type Plan struct {
+	Device Capability
+	// Margin is device throughput / required throughput; >= 1 means one
+	// device sustains real time.
+	Margin float64
+	// DevicesNeeded is the number of devices to reach real time (load
+	// split across devices, e.g. by image slice).
+	DevicesNeeded int
+	// SystemWatts is the power of that many devices.
+	SystemWatts float64
+}
+
+// Size computes the deployment plan for a device against a requirement.
+func Size(r Requirement, c Capability) (Plan, error) {
+	if c.PixelsPerS <= 0 {
+		return Plan{}, fmt.Errorf("sizing: device %q has no throughput", c.Name)
+	}
+	need := r.RequiredPixelRate()
+	margin := c.PixelsPerS / need
+	n := int(math.Ceil(need / c.PixelsPerS))
+	if n < 1 {
+		n = 1
+	}
+	return Plan{
+		Device:        c,
+		Margin:        margin,
+		DevicesNeeded: n,
+		SystemWatts:   float64(n) * c.Watts,
+	}, nil
+}
+
+// Compare sizes several devices against the same requirement and returns
+// the plans in input order.
+func Compare(r Requirement, devices []Capability) ([]Plan, error) {
+	out := make([]Plan, 0, len(devices))
+	for _, d := range devices {
+		p, err := Size(r, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

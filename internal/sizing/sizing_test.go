@@ -1,0 +1,86 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/sar"
+)
+
+func TestRequirementFor(t *testing.T) {
+	p := sar.DefaultParams() // 1024 pulses x 1001 bins, 1024 m aperture
+	r, err := RequirementFor(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PixelsPerImage != 1024*1001 {
+		t.Errorf("pixels %v", r.PixelsPerImage)
+	}
+	if math.Abs(r.CollectionSeconds-10.24) > 1e-9 {
+		t.Errorf("collection time %v", r.CollectionSeconds)
+	}
+	if r.RawBytes != 1024*1001*8 {
+		t.Errorf("raw bytes %v", r.RawBytes)
+	}
+	want := 1024 * 1001 / 10.24
+	if math.Abs(r.RequiredPixelRate()-want) > 1e-6 {
+		t.Errorf("required rate %v, want %v", r.RequiredPixelRate(), want)
+	}
+}
+
+func TestRequirementForErrors(t *testing.T) {
+	p := sar.DefaultParams()
+	if _, err := RequirementFor(p, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	p.DR = -1
+	if _, err := RequirementFor(p, 100); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestSizeMargins(t *testing.T) {
+	r := Requirement{PixelsPerImage: 1e6, CollectionSeconds: 10} // 100k px/s needed
+	// A device at 400k px/s has 4x margin, one device suffices.
+	pl, err := Size(r, Capability{Name: "fast", PixelsPerS: 4e5, Watts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.Margin-4) > 1e-9 || pl.DevicesNeeded != 1 || pl.SystemWatts != 2 {
+		t.Errorf("plan %+v", pl)
+	}
+	// A device at 30k px/s needs 4 devices.
+	pl, err = Size(r, Capability{Name: "slow", PixelsPerS: 3e4, Watts: 17.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.DevicesNeeded != 4 || pl.SystemWatts != 70 {
+		t.Errorf("plan %+v", pl)
+	}
+	if pl.Margin >= 1 {
+		t.Errorf("margin %v should be < 1", pl.Margin)
+	}
+}
+
+func TestSizeRejectsZeroThroughput(t *testing.T) {
+	if _, err := Size(Requirement{PixelsPerImage: 1, CollectionSeconds: 1}, Capability{}); err == nil {
+		t.Error("zero throughput accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	r := Requirement{PixelsPerImage: 1e6, CollectionSeconds: 1}
+	plans, err := Compare(r, []Capability{
+		{Name: "a", PixelsPerS: 5e5, Watts: 2},
+		{Name: "b", PixelsPerS: 2e6, Watts: 17.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 || plans[0].DevicesNeeded != 2 || plans[1].DevicesNeeded != 1 {
+		t.Errorf("plans %+v", plans)
+	}
+	if _, err := Compare(r, []Capability{{}}); err == nil {
+		t.Error("bad device accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package sarmany_test
+
+import (
+	"math"
+	"testing"
+
+	"sarmany"
+)
+
+func TestPublicFrontEndChain(t *testing.T) {
+	// Raw chirp echoes -> RFI contamination -> notch filter -> windowed
+	// compression: the full pre-back-projection chain through the public
+	// API.
+	p, _ := smallSystem()
+	ch := p.DefaultChirp()
+	tg := []sarmany.Target{{U: 0, Y: 540, Amp: 1}}
+	raw := sarmany.SimulateRaw(p, ch, tg, nil)
+	sarmany.InjectRFI(raw, 0.21, 2, 0.5)
+	notched, err := sarmany.NotchFilter(raw, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notched == 0 {
+		t.Error("notch filter found no interference")
+	}
+	comp := sarmany.CompressWindowed(p, ch, raw, sarmany.TaylorWindow)
+	if comp.Rows != p.NumPulses || comp.Cols != p.NumBins {
+		t.Fatalf("compressed dims %dx%d", comp.Rows, comp.Cols)
+	}
+	// The target must be recoverable after the whole chain.
+	m := sarmany.Magnitude(comp)
+	res, err := sarmany.MeasurePointResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak < 0.4 {
+		t.Errorf("target peak %v after RFI + notch + compression", res.Peak)
+	}
+	// Taylor weighting keeps range sidelobes low.
+	if res.RangePSLR > -20 {
+		t.Errorf("range PSLR %v dB with Taylor weighting", res.RangePSLR)
+	}
+}
+
+func TestPublicNoiseAndGain(t *testing.T) {
+	p, box := smallSystem()
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 0, Y: 540, Amp: 1}}, nil)
+	sarmany.AddNoise(data, 0.3, 7)
+	img, _, err := sarmany.FFBP(data, p, box, sarmany.Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sarmany.Magnitude(img)
+	var peak float32
+	for r := 0; r < m.Rows; r++ {
+		for _, v := range m.Row(r) {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	// 128 pulses of coherent gain: the image peak integrates far above
+	// one pulse's amplitude.
+	if float64(peak) < 0.4*float64(p.NumPulses) {
+		t.Errorf("peak %v too low for %d pulses", peak, p.NumPulses)
+	}
+}
+
+func TestPublicGroundProjection(t *testing.T) {
+	p, box := smallSystem()
+	tg := sarmany.Target{U: 12, Y: 545, Amp: 1}
+	data := sarmany.Simulate(p, []sarmany.Target{tg}, nil)
+	img, grid, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sarmany.GroundSpecFor(box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := sarmany.ToGround(img, grid, 0, spec, sarmany.Linear)
+	m := sarmany.Magnitude(ground)
+	var pr, pc int
+	var pv float32
+	for r := 0; r < m.Rows; r++ {
+		for c, v := range m.Row(r) {
+			if v > pv {
+				pr, pc, pv = r, c, v
+			}
+		}
+	}
+	wr := int(math.Round((tg.Y - spec.Y0) / spec.Res))
+	wc := int(math.Round((tg.U - spec.X0) / spec.Res))
+	// Azimuth resolution is metres wide; range tight.
+	if absInt(pr-wr) > 2 || absInt(pc-wc) > 6 {
+		t.Errorf("ground peak at (%d,%d), want (%d,%d)", pr, pc, wr, wc)
+	}
+}
+
+func TestPublicFocusedFFBP(t *testing.T) {
+	p, box := smallSystem()
+	drift := func(u float64) float64 {
+		if u > 0 {
+			return 0.4
+		}
+		return 0
+	}
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 0, Y: 540, Amp: 1}}, drift)
+	img, _, history, err := sarmany.FocusedFFBP(data, p, box, sarmany.DefaultFocusConfig(p.NumPulses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Rows != p.NumPulses {
+		t.Fatalf("image %dx%d", img.Rows, img.Cols)
+	}
+	if len(history) != 1 || len(history[0]) != 1 {
+		t.Fatalf("history shape %v", history)
+	}
+	if history[0][0].DRange >= 0 {
+		t.Errorf("compensation %v, want negative", history[0][0].DRange)
+	}
+}
+
+func TestPublicMultiPipelineAndEnergy(t *testing.T) {
+	pairs := make([]sarmany.BlockPair, 8)
+	for i := range pairs {
+		var m, pl sarmany.Block
+		for r := 0; r < 6; r++ {
+			for c := 0; c < 6; c++ {
+				dr, dc := float64(r)-2.5, float64(c)-2.5
+				a := float32(math.Exp(-(dr*dr + dc*dc) / 3))
+				m[r][c] = complex(a, 0)
+				pl[r][c] = complex(a*0.9, a/5)
+			}
+		}
+		pairs[i] = sarmany.BlockPair{Minus: m, Plus: pl}
+	}
+	shifts := sarmany.RangeSweep(-1, 1, 7)
+
+	chip := sarmany.NewEpiphany(sarmany.EpiphanyE64())
+	scores, err := sarmany.EpiphanyAutofocusMulti(chip, 4, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 8 || len(scores[0]) != 7 {
+		t.Fatalf("scores %dx%d", len(scores), len(scores[0]))
+	}
+	b := sarmany.MeasureEnergy(chip)
+	if b.Total() <= 0 {
+		t.Errorf("energy %v", b.Total())
+	}
+	if b.AveragePower(chip.Time()) <= 0 {
+		t.Error("no average power")
+	}
+}

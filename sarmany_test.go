@@ -1,0 +1,225 @@
+package sarmany_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sarmany"
+)
+
+func smallSystem() (sarmany.Params, sarmany.SceneBox) {
+	p := sarmany.DefaultParams()
+	p.NumPulses = 128
+	p.NumBins = 161
+	p.R0 = 500
+	box := sarmany.SceneBox{UMin: -25, UMax: 25, YMin: 510, YMax: 570, ThetaPad: 0.05}
+	return p, box
+}
+
+func TestPublicImagingPipeline(t *testing.T) {
+	p, box := smallSystem()
+	tg := sarmany.Target{U: 10, Y: 540, Amp: 1}
+	data := sarmany.Simulate(p, []sarmany.Target{tg}, nil)
+
+	img, grid, err := sarmany.FFBP(data, p, box, sarmany.Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Rows != p.NumPulses || img.Cols != p.NumBins {
+		t.Fatalf("image %dx%d", img.Rows, img.Cols)
+	}
+	// The peak must be near the target's polar position.
+	m := sarmany.Magnitude(img)
+	var pr, pc int
+	var pv float32
+	for r := 0; r < m.Rows; r++ {
+		for c, v := range m.Row(r) {
+			if v > pv {
+				pr, pc, pv = r, c, v
+			}
+		}
+	}
+	wr := int(math.Round(grid.ThetaIndex(math.Atan2(tg.Y, tg.U))))
+	wc := int(math.Round(grid.RangeIndex(math.Hypot(tg.U, tg.Y))))
+	if absInt(pr-wr) > 6 || absInt(pc-wc) > 2 {
+		t.Errorf("peak (%d,%d), want near (%d,%d)", pr, pc, wr, wc)
+	}
+
+	// GBP on the matching grid correlates strongly with cubic FFBP.
+	g := sarmany.GBP(data, p, sarmany.FullApertureGrid(p, box), sarmany.Linear, 0)
+	fc, _, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr := sarmany.ImageCorrelation(sarmany.Magnitude(g), sarmany.Magnitude(fc)); corr < 0.8 {
+		t.Errorf("GBP/FFBP correlation %v", corr)
+	}
+}
+
+func TestPublicChirpFrontEnd(t *testing.T) {
+	p, _ := smallSystem()
+	ch := p.DefaultChirp()
+	tg := []sarmany.Target{{U: 0, Y: 540, Amp: 1}}
+	comp := sarmany.Compress(p, ch, sarmany.SimulateRaw(p, ch, tg, nil))
+	direct := sarmany.Simulate(p, tg, nil)
+	if comp.Rows != direct.Rows || comp.Cols != direct.Cols {
+		t.Fatalf("compressed %dx%d, direct %dx%d", comp.Rows, comp.Cols, direct.Rows, direct.Cols)
+	}
+}
+
+func TestPublicAutofocus(t *testing.T) {
+	// Build two blocks from a shifted scene and recover the shift.
+	p, box := smallSystem()
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 0, Y: 540, Amp: 1}}, nil)
+	img, grid, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := int(math.Round(grid.ThetaIndex(math.Pi / 2)))
+	pc := int(math.Round(grid.RangeIndex(540.0)))
+	a, err := sarmany.BlockFrom(img, pr-3, pc-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sarmany.BlockFrom(img, pr-3, pc-4) // content shifted one column
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, all, err := sarmany.SearchCompensation(&a, &b, sarmany.RangeSweep(-2, 2, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 21 {
+		t.Fatalf("%d results", len(all))
+	}
+	// b's content sits one column later, so the compensating shift ~ +1.
+	if math.Abs(best.Shift.DRange-1) > 0.45 {
+		t.Errorf("best shift %v, want ~1", best.Shift.DRange)
+	}
+	if got := sarmany.Criterion(&a, &b, best.Shift); got != best.Score {
+		t.Errorf("Criterion disagrees with Search: %v vs %v", got, best.Score)
+	}
+}
+
+func TestPublicMachineModels(t *testing.T) {
+	p, box := smallSystem()
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 5, Y: 545, Amp: 1}}, nil)
+
+	cpu := sarmany.NewReferenceCPU()
+	refImg, _, err := sarmany.ReferenceFFBP(cpu, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Seconds() <= 0 {
+		t.Error("reference CPU recorded no time")
+	}
+
+	chip := sarmany.NewEpiphany(sarmany.EpiphanyE16G3())
+	parImg, _, err := sarmany.EpiphanyFFBP(chip, 16, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Time() <= 0 {
+		t.Error("chip recorded no time")
+	}
+	if !refImg.Equal(parImg) {
+		t.Error("reference and Epiphany images differ")
+	}
+
+	chipSeq := sarmany.NewEpiphany(sarmany.EpiphanyE16G3())
+	seqImg, _, err := sarmany.EpiphanySeqFFBP(chipSeq, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqImg.Equal(parImg) {
+		t.Error("sequential and parallel Epiphany images differ")
+	}
+	if chipSeq.Cores[0].Cycles() <= chip.MaxCycles() {
+		t.Error("parallel run not faster than sequential")
+	}
+}
+
+func TestPublicAutofocusMachines(t *testing.T) {
+	cfg := sarmany.SmallExperiment()
+	pairs := make([]sarmany.BlockPair, 2)
+	p, box := smallSystem()
+	data := sarmany.Simulate(p, []sarmany.Target{{U: 0, Y: 540, Amp: 1}}, nil)
+	img, _, err := sarmany.FFBP(data, p, box, sarmany.Cubic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		m, err := sarmany.BlockFrom(img, 40+i, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := sarmany.BlockFrom(img, 40+i, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = sarmany.BlockPair{Minus: m, Plus: pl}
+	}
+	shifts := sarmany.RangeSweep(-1, 1, 5)
+
+	cpu := sarmany.NewReferenceCPU()
+	ref, err := sarmany.ReferenceAutofocus(cpu, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := sarmany.NewEpiphany(cfg.Epiphany)
+	par, err := sarmany.EpiphanyAutofocus(chip, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipSeq := sarmany.NewEpiphany(cfg.Epiphany)
+	seq, err := sarmany.EpiphanySeqAutofocus(chipSeq, pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		for j := range ref[i] {
+			if ref[i][j] != par[i][j] || ref[i][j] != seq[i][j] {
+				t.Errorf("scores disagree at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicExperimentHarness(t *testing.T) {
+	tab, err := sarmany.RunTable1(sarmany.SmallExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.FFBP[2].Speedup <= 1 {
+		t.Errorf("parallel FFBP speedup %v", tab.FFBP[2].Speedup)
+	}
+
+	metrics, imgs, err := sarmany.RunFigure7(sarmany.SmallExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range imgs {
+		if img == nil || img.Rows == 0 {
+			t.Fatalf("figure 7 image %d empty", i)
+		}
+	}
+	if metrics.IntelEpiphanyCorr < 0.999 {
+		t.Errorf("Intel/Epiphany FFBP correlation %v, want ~1", metrics.IntelEpiphanyCorr)
+	}
+	if metrics.GBPSharpness <= metrics.FFBPSharpness {
+		t.Errorf("GBP sharpness %v not above FFBP %v", metrics.GBPSharpness, metrics.FFBPSharpness)
+	}
+
+	dir := t.TempDir()
+	if err := sarmany.SaveImage(filepath.Join(dir, "img.png"), imgs[1], 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
