@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench clean
+
+all: check
+
+# check runs the full verification gate: formatting, static analysis,
+# build, and the race-enabled test suite.
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	rm -rf out BENCH_*.json

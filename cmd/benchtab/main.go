@@ -7,11 +7,15 @@
 //
 //	benchtab -exp t1                 # Table I + energy ratios (paper scale)
 //	benchtab -exp t1 -small          # reduced scale (fast)
+//	benchtab -exp t1 -json           # also write BENCH_table1.json
 //	benchtab -exp fig7 -out dir      # Fig. 7a-d images + quality metrics
 //	benchtab -exp scaling            # FFBP speedup vs core count
 //	benchtab -exp bw                 # autofocus throughput vs off-chip bandwidth
 //	benchtab -exp interp             # FFBP quality vs interpolation kernel
 //	benchtab -exp all                # everything
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<name>.json envelope into -jsondir (default ".").
 package main
 
 import (
@@ -23,59 +27,57 @@ import (
 	"sarmany/internal/report"
 )
 
+// experiments maps -exp keys to display titles, in -exp all order.
+var experiments = []struct{ key, title string }{
+	{"t1", "Table I"},
+	{"fig7", "Figure 7"},
+	{"scaling", "Core scaling"},
+	{"bw", "Bandwidth sweep"},
+	{"interp", "Interpolation ablation"},
+	{"pipes", "Pipeline replication"},
+	{"gbp", "GBP vs FFBP"},
+	{"base", "Factorization base"},
+	{"rda", "Frequency vs time domain"},
+	{"upsample", "Range oversampling"},
+}
+
 func main() {
 	exp := flag.String("exp", "t1", "experiment: t1, fig7, scaling, bw, interp, pipes, gbp, base, rda, upsample, all")
 	small := flag.Bool("small", false, "run at reduced scale")
 	out := flag.String("out", "out", "output directory for images")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<name>.json results")
+	jsonDir := flag.String("jsondir", ".", "directory for BENCH_<name>.json files (with -json)")
 	flag.Parse()
 
 	cfg := report.Default()
 	if *small {
 		cfg = report.Small()
 	}
+	dir := ""
+	if *jsonOut {
+		dir = *jsonDir
+	}
 
-	run := func(name string, f func() error) {
-		fmt.Printf("== %s ==\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+	run := func(key, title string) {
+		fmt.Printf("== %s ==\n", title)
+		if err := bench.Experiment(key, os.Stdout, cfg, dir, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", title, err)
 			os.Exit(1)
 		}
 	}
 
-	switch *exp {
-	case "t1":
-		run("Table I", func() error { return bench.Table1(os.Stdout, cfg) })
-	case "fig7":
-		run("Figure 7", func() error { return bench.Figure7(os.Stdout, cfg, *out) })
-	case "scaling":
-		run("Core scaling", func() error { return bench.Scaling(os.Stdout, cfg) })
-	case "bw":
-		run("Bandwidth sweep", func() error { return bench.Bandwidth(os.Stdout, cfg) })
-	case "interp":
-		run("Interpolation ablation", func() error { return bench.Interp(os.Stdout, cfg) })
-	case "pipes":
-		run("Pipeline replication", func() error { return bench.Pipelines(os.Stdout, cfg) })
-	case "gbp":
-		run("GBP vs FFBP", func() error { return bench.GBPvsFFBP(os.Stdout, cfg) })
-	case "base":
-		run("Factorization base", func() error { return bench.Bases(os.Stdout, cfg) })
-	case "rda":
-		run("Frequency vs time domain", func() error { return bench.Motivation(os.Stdout, cfg) })
-	case "upsample":
-		run("Range oversampling", func() error { return bench.Upsample(os.Stdout, cfg) })
-	case "all":
-		run("Table I", func() error { return bench.Table1(os.Stdout, cfg) })
-		run("Figure 7", func() error { return bench.Figure7(os.Stdout, cfg, *out) })
-		run("Core scaling", func() error { return bench.Scaling(os.Stdout, cfg) })
-		run("Bandwidth sweep", func() error { return bench.Bandwidth(os.Stdout, cfg) })
-		run("Interpolation ablation", func() error { return bench.Interp(os.Stdout, cfg) })
-		run("Pipeline replication", func() error { return bench.Pipelines(os.Stdout, cfg) })
-		run("GBP vs FFBP", func() error { return bench.GBPvsFFBP(os.Stdout, cfg) })
-		run("Factorization base", func() error { return bench.Bases(os.Stdout, cfg) })
-		run("Frequency vs time domain", func() error { return bench.Motivation(os.Stdout, cfg) })
-		run("Range oversampling", func() error { return bench.Upsample(os.Stdout, cfg) })
-	default:
-		fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *exp == "all" {
+		for _, e := range experiments {
+			run(e.key, e.title)
+		}
+		return
 	}
+	for _, e := range experiments {
+		if e.key == *exp {
+			run(e.key, e.title)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+	os.Exit(2)
 }

@@ -13,9 +13,17 @@
 //	epirun -kernel af-seq | af-intel
 //	epirun -kernel ffbp-par -mesh 8x8 -cores 64
 //	epirun -small                           # reduced workload
+//	epirun -trace out.json                  # Perfetto/Chrome trace of the run
+//	epirun -metrics metrics.json            # metrics-registry snapshot
+//	epirun -json                            # machine-readable summary on stdout
+//
+// A -trace file loads in ui.perfetto.dev or chrome://tracing: one thread
+// per core with compute and stall spans, plus a phase track for SPMD
+// kernels.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +34,23 @@ import (
 	"sarmany/internal/emu"
 	"sarmany/internal/energy"
 	"sarmany/internal/kernels"
+	"sarmany/internal/obs"
 	"sarmany/internal/refcpu"
 	"sarmany/internal/report"
 	"sarmany/internal/sar"
 )
+
+// summary is the -json output: identity, modeled time, and the full
+// metrics snapshot of the run.
+type summary struct {
+	Kernel  string       `json:"kernel"`
+	Machine string       `json:"machine"`
+	Cores   int          `json:"cores"`
+	ClockHz float64      `json:"clock_hz"`
+	Cycles  float64      `json:"cycles"`
+	Seconds float64      `json:"seconds"`
+	Metrics obs.Snapshot `json:"metrics"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -43,6 +64,10 @@ func main() {
 		perCore = flag.Bool("percore", false, "print per-core statistics")
 		phases  = flag.Bool("phases", false, "print the per-phase timeline (SPMD kernels)")
 		power   = flag.Bool("power", false, "print the modeled energy breakdown")
+		traceF  = flag.String("trace", "", "write a Perfetto/Chrome trace_event JSON file")
+		traceN  = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track (oldest dropped beyond)")
+		metricF = flag.String("metrics", "", "write a metrics-registry snapshot JSON file")
+		jsonOut = flag.Bool("json", false, "print a machine-readable summary instead of tables")
 	)
 	flag.Parse()
 
@@ -63,6 +88,12 @@ func main() {
 	switch *kernel {
 	case "ffbp-intel", "af-intel":
 		cpu := refcpu.New(cfg.Intel)
+		var tracer *obs.Tracer
+		if *traceF != "" {
+			tracer = obs.NewTracer(cfg.Intel.Clock)
+			tracer.SetCapacity(*traceN)
+			cpu.SetTracer(tracer)
+		}
 		if *kernel == "ffbp-intel" {
 			if _, _, err := kernels.SeqFFBP(cpu, cpu.Mem(), data, cfg.Params, cfg.Box); err != nil {
 				log.Fatal(err)
@@ -71,6 +102,14 @@ func main() {
 			if _, err := kernels.SeqAutofocus(cpu, cpu.Mem(), pairs, shifts); err != nil {
 				log.Fatal(err)
 			}
+		}
+		writeTrace(*traceF, tracer)
+		writeMetrics(*metricF, cpu.Metrics().Snapshot())
+		if *jsonOut {
+			writeSummary(summary{Kernel: *kernel, Machine: "intel-i7", Cores: 1,
+				ClockHz: cpu.P.Clock, Cycles: cpu.Cycles(), Seconds: cpu.Seconds(),
+				Metrics: cpu.Metrics().Snapshot()})
+			return
 		}
 		fmt.Printf("%s on Intel i7 model @ %.2f GHz\n", *kernel, cpu.P.Clock/1e9)
 		fmt.Printf("  time: %.3f ms (%.0f cycles)\n", cpu.Seconds()*1e3, cpu.Cycles())
@@ -90,6 +129,12 @@ func main() {
 	}
 
 	ch := emu.New(cfg.Epiphany)
+	var tracer *obs.Tracer
+	if *traceF != "" {
+		tracer = obs.NewTracer(cfg.Epiphany.Clock)
+		tracer.SetCapacity(*traceN)
+		ch.SetTracer(tracer)
+	}
 	var used int
 	switch *kernel {
 	case "ffbp-par":
@@ -114,6 +159,17 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	writeTrace(*traceF, tracer)
+	writeMetrics(*metricF, ch.Metrics().Snapshot())
+	if *jsonOut {
+		writeSummary(summary{Kernel: *kernel,
+			Machine: fmt.Sprintf("epiphany-%dx%d", cfg.Epiphany.Rows, cfg.Epiphany.Cols),
+			Cores:   used, ClockHz: cfg.Epiphany.Clock,
+			Cycles: ch.MaxCycles(), Seconds: ch.Time(),
+			Metrics: ch.Metrics().Snapshot()})
+		return
 	}
 
 	fmt.Printf("%s on Epiphany %dx%d @ %.1f GHz, %d cores used\n",
@@ -147,6 +203,52 @@ func main() {
 	if strings.HasPrefix(*kernel, "ffbp") {
 		fmt.Printf("  (image: %d x %d pixels, %d merge iterations)\n",
 			cfg.Params.NumPulses, cfg.Params.NumBins, log2(cfg.Params.NumPulses))
+	}
+}
+
+// writeTrace dumps the tracer to path as trace_event JSON; a no-op when
+// either is unset.
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteTraceEvent(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if n := tr.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "epirun: trace ring overflow: %d oldest spans dropped\n", n)
+	}
+}
+
+// writeMetrics dumps a snapshot to path as JSON; a no-op when path is "".
+func writeMetrics(path string, snap obs.Snapshot) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeSummary(s summary) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		log.Fatal(err)
 	}
 }
 

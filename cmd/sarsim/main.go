@@ -11,13 +11,16 @@
 //	sarsim -targets "0,2250,1;-120,2190,0.7" -o data.sar
 //	sarsim -patherr-amp 1.5 -patherr-period 400 -o data.sar
 //	sarsim -o data.sar -png raw.png           # also render the raw data
+//	sarsim -o data.sar -json                  # print dataset metadata as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -45,6 +48,7 @@ func main() {
 		rfi     = flag.Float64("rfi", 0, "narrowband interference amplitude (0 = none)")
 		rfiFreq = flag.Float64("rfi-freq", 0.21, "interference frequency (cycles/sample)")
 		notch   = flag.Float64("notch", 0, "notch-filter threshold (0 = no filtering; typical 4-8)")
+		jsonOut = flag.Bool("json", false, "print dataset metadata as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -94,23 +98,59 @@ func main() {
 	if *noise > 0 {
 		sar.AddNoise(data, *noise, 1)
 	}
+	notched := 0
 	if *notch > 0 {
 		n, err := sar.NotchFilter(data, *notch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("notch filter excised %d spectral bins\n", n)
+		notched = n
+		if !*jsonOut {
+			fmt.Printf("notch filter excised %d spectral bins\n", n)
+		}
 	}
 
 	if err := dataio.WriteFile(*out, p, data); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: %d pulses x %d bins, %d targets\n", *out, p.NumPulses, p.NumBins, len(scene))
 
 	if *pngOut != "" {
 		if err := imageio.Save(*pngOut, data, 50); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *jsonOut {
+		meta := struct {
+			File         string       `json:"file"`
+			PNG          string       `json:"png,omitempty"`
+			Pulses       int          `json:"pulses"`
+			Bins         int          `json:"bins"`
+			R0           float64      `json:"r0_m"`
+			DR           float64      `json:"dr_m"`
+			PulseSpacing float64      `json:"pulse_spacing_m"`
+			Aperture     float64      `json:"aperture_m"`
+			Targets      []sar.Target `json:"targets"`
+			Chirp        bool         `json:"chirp"`
+			PathErrAmp   float64      `json:"patherr_amp_m"`
+			Noise        float64      `json:"noise"`
+			NotchedBins  int          `json:"notched_bins,omitempty"`
+		}{
+			File: *out, PNG: *pngOut,
+			Pulses: p.NumPulses, Bins: p.NumBins,
+			R0: p.R0, DR: p.DR, PulseSpacing: p.PulseSpacing, Aperture: p.ApertureLength(),
+			Targets: scene, Chirp: *chirp,
+			PathErrAmp: *peAmp, Noise: *noise, NotchedBins: notched,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(meta); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("wrote %s: %d pulses x %d bins, %d targets\n", *out, p.NumPulses, p.NumBins, len(scene))
+	if *pngOut != "" {
 		fmt.Printf("wrote %s\n", *pngOut)
 	}
 }

@@ -42,13 +42,14 @@ func Table1(w io.Writer, cfg report.Config) error {
 type Fig7Result struct {
 	// GBPSharpness and FFBPSharpness quantify "the FFBP processed images
 	// have a lower quality as compared to the GBP processed image".
-	GBPSharpness, FFBPSharpness float64
+	GBPSharpness  float64 `json:"gbp_sharpness"`
+	FFBPSharpness float64 `json:"ffbp_sharpness"`
 	// CrossCorr is the GBP-vs-FFBP magnitude correlation.
-	CrossCorr float64
+	CrossCorr float64 `json:"cross_corr"`
 	// IntelEpiphanyCorr compares the FFBP images from the reference-CPU
 	// and Epiphany implementations ("similar in quality"; in this
 	// reproduction both run the same arithmetic, so it is 1.0 exactly).
-	IntelEpiphanyCorr float64
+	IntelEpiphanyCorr float64 `json:"intel_epiphany_corr"`
 }
 
 // Figure7 regenerates the paper's Fig. 7 image set into dir: (a) the
@@ -60,6 +61,15 @@ func Figure7(w io.Writer, cfg report.Config, dir string) (err error) {
 	if err != nil {
 		return err
 	}
+	if err := saveFig7(imgs, dir); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", dir)
+	printFig7(w, res)
+	return nil
+}
+
+func saveFig7(imgs [4]*mat.C, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -69,12 +79,14 @@ func Figure7(w io.Writer, cfg report.Config, dir string) (err error) {
 			return err
 		}
 	}
-	fmt.Fprintf(w, "wrote %s\n", dir)
+	return nil
+}
+
+func printFig7(w io.Writer, res Fig7Result) {
 	fmt.Fprintf(w, "sharpness: GBP %.1f, FFBP %.1f (GBP sharper: %v)\n",
 		res.GBPSharpness, res.FFBPSharpness, res.GBPSharpness > res.FFBPSharpness)
 	fmt.Fprintf(w, "GBP vs FFBP magnitude correlation: %.3f\n", res.CrossCorr)
 	fmt.Fprintf(w, "Intel vs Epiphany FFBP correlation: %.3f\n", res.IntelEpiphanyCorr)
-	return nil
 }
 
 // RunFigure7 computes the Fig. 7 images and metrics without touching the
@@ -118,9 +130,9 @@ func RunFigure7(cfg report.Config) (Fig7Result, [4]*mat.C, error) {
 
 // ScalingPoint is one core-count measurement of the FFBP scaling sweep.
 type ScalingPoint struct {
-	Cores   int
-	Seconds float64
-	Speedup float64 // vs 1 core of the same sweep
+	Cores   int     `json:"cores"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"` // vs 1 core of the same sweep
 }
 
 // RunScaling measures parallel FFBP execution time across core counts on
@@ -154,18 +166,22 @@ func Scaling(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printScaling(w, points)
+	return nil
+}
+
+func printScaling(w io.Writer, points []ScalingPoint) {
 	fmt.Fprintf(w, "%6s %12s %9s\n", "cores", "time (ms)", "speedup")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%6d %12.1f %9.2f\n", pt.Cores, pt.Seconds*1e3, pt.Speedup)
 	}
-	return nil
 }
 
 // BandwidthPoint is one off-chip-bandwidth measurement.
 type BandwidthPoint struct {
-	BytesPerCycle float64
-	FFBPSeconds   float64
-	AFSeconds     float64
+	BytesPerCycle float64 `json:"bytes_per_cycle"`
+	FFBPSeconds   float64 `json:"ffbp_seconds"`
+	AFSeconds     float64 `json:"af_seconds"`
 }
 
 // RunBandwidth sweeps the effective off-chip bandwidth and measures both
@@ -204,18 +220,22 @@ func Bandwidth(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printBandwidth(w, points)
+	return nil
+}
+
+func printBandwidth(w io.Writer, points []BandwidthPoint) {
 	fmt.Fprintf(w, "%14s %14s %14s\n", "bytes/cycle", "FFBP (ms)", "autofocus (ms)")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%14.3f %14.1f %14.1f\n", pt.BytesPerCycle, pt.FFBPSeconds*1e3, pt.AFSeconds*1e3)
 	}
-	return nil
 }
 
 // PipelinePoint is one autofocus pipeline-replication measurement.
 type PipelinePoint struct {
-	Pipelines int
-	Seconds   float64
-	Speedup   float64
+	Pipelines int     `json:"pipelines"`
+	Seconds   float64 `json:"seconds"`
+	Speedup   float64 `json:"speedup"`
 }
 
 // RunPipelines measures the multi-pipeline autofocus throughput on the
@@ -248,11 +268,15 @@ func Pipelines(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printPipelines(w, points)
+	return nil
+}
+
+func printPipelines(w io.Writer, points []PipelinePoint) {
 	fmt.Fprintf(w, "%10s %12s %9s\n", "pipelines", "time (ms)", "speedup")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%10d %12.3f %9.2f\n", pt.Pipelines, pt.Seconds*1e3, pt.Speedup)
 	}
-	return nil
 }
 
 // RunGBPvsFFBP compares the modeled times of exact GBP and FFBP on the
@@ -281,18 +305,22 @@ func GBPvsFFBP(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printGBPvsFFBP(w, g, f)
+	return nil
+}
+
+func printGBPvsFFBP(w io.Writer, g, f float64) {
 	fmt.Fprintf(w, "GBP  (exact):      %10.1f ms\n", g*1e3)
 	fmt.Fprintf(w, "FFBP (factorized): %10.1f ms  -> %.1fx faster\n", f*1e3, g/f)
-	return nil
 }
 
 // BasePoint is one factorization-base measurement.
 type BasePoint struct {
-	Base      int
-	Levels    int
-	Sharpness float64
-	GBPCorr   float64
-	HostMS    float64
+	Base      int     `json:"base"`
+	Levels    int     `json:"levels"`
+	Sharpness float64 `json:"sharpness"`
+	GBPCorr   float64 `json:"gbp_corr"`
+	HostMS    float64 `json:"host_ms"`
 }
 
 // RunBases compares factorization bases (with nearest-neighbour
@@ -334,18 +362,24 @@ func Bases(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printBases(w, points)
+	return nil
+}
+
+func printBases(w io.Writer, points []BasePoint) {
 	fmt.Fprintf(w, "%6s %8s %12s %10s %12s\n", "base", "levels", "sharpness", "GBP corr", "host ms")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%6d %8d %12.1f %10.3f %12.0f\n", pt.Base, pt.Levels, pt.Sharpness, pt.GBPCorr, pt.HostMS)
 	}
-	return nil
 }
 
 // MotivationResult carries the frequency-vs-time-domain comparison.
 type MotivationResult struct {
 	// Kept fractions of coherent gain under a non-linear flight path,
 	// relative to each algorithm's linear-track gain.
-	RDAKept, FocusedFFBPKept, MocompRDAKept float64
+	RDAKept         float64 `json:"rda_kept"`
+	FocusedFFBPKept float64 `json:"focused_ffbp_kept"`
+	MocompRDAKept   float64 `json:"mocomp_rda_kept"`
 }
 
 // RunMotivation reruns the paper's Sec. I argument: under a flight-path
@@ -432,18 +466,23 @@ func Motivation(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printMotivation(w, r)
+	return nil
+}
+
+func printMotivation(w io.Writer, r MotivationResult) {
 	fmt.Fprintf(w, "coherent gain kept under a non-linear flight path:\n")
 	fmt.Fprintf(w, "  RDA (straight-track reference):   %5.2f\n", r.RDAKept)
 	fmt.Fprintf(w, "  FFBP + autofocus (blind):         %5.2f\n", r.FocusedFFBPKept)
 	fmt.Fprintf(w, "  RDA after motion compensation:    %5.2f\n", r.MocompRDAKept)
-	return nil
 }
 
 // InterpPoint is one interpolation-kernel quality measurement.
 type InterpPoint struct {
-	Kind      interp.Kind
-	Sharpness float64
-	GBPCorr   float64
+	Kind      interp.Kind `json:"kind"`
+	Kernel    string      `json:"kernel"`
+	Sharpness float64     `json:"sharpness"`
+	GBPCorr   float64     `json:"gbp_corr"`
 }
 
 // RunInterp measures FFBP image quality against the GBP reference for
@@ -464,6 +503,7 @@ func RunInterp(cfg report.Config) ([]InterpPoint, error) {
 		m := quality.Mag(img)
 		out = append(out, InterpPoint{
 			Kind:      k,
+			Kernel:    k.String(),
 			Sharpness: quality.Sharpness(m),
 			GBPCorr:   quality.NormCorr(ref, m),
 		})
@@ -473,9 +513,9 @@ func RunInterp(cfg report.Config) ([]InterpPoint, error) {
 
 // UpsamplePoint is one range-oversampling measurement.
 type UpsamplePoint struct {
-	Factor    int
-	Sharpness float64
-	PeakGain  float64 // image peak relative to factor 1
+	Factor    int     `json:"factor"`
+	Sharpness float64 `json:"sharpness"`
+	PeakGain  float64 `json:"peak_gain"` // image peak relative to factor 1
 }
 
 // RunUpsample measures nearest-neighbour FFBP quality against the range
@@ -515,11 +555,15 @@ func Upsample(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printUpsample(w, points)
+	return nil
+}
+
+func printUpsample(w io.Writer, points []UpsamplePoint) {
 	fmt.Fprintf(w, "%8s %12s %12s\n", "factor", "sharpness", "peak gain")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%8d %12.1f %12.2f\n", pt.Factor, pt.Sharpness, pt.PeakGain)
 	}
-	return nil
 }
 
 // Interp runs RunInterp and prints the series.
@@ -528,9 +572,13 @@ func Interp(w io.Writer, cfg report.Config) error {
 	if err != nil {
 		return err
 	}
+	printInterp(w, points)
+	return nil
+}
+
+func printInterp(w io.Writer, points []InterpPoint) {
 	fmt.Fprintf(w, "%10s %12s %12s\n", "kernel", "sharpness", "GBP corr")
 	for _, pt := range points {
 		fmt.Fprintf(w, "%10s %12.1f %12.3f\n", pt.Kind, pt.Sharpness, pt.GBPCorr)
 	}
-	return nil
 }

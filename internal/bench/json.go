@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sarmany/internal/report"
+)
+
+// Result is the machine-readable envelope around one experiment's data,
+// written as BENCH_<name>.json next to the human-readable table. Data
+// holds the experiment's point slice or result struct (every point type
+// in this package carries JSON tags).
+type Result struct {
+	Name  string `json:"name"`
+	Title string `json:"title,omitempty"`
+	// Pulses and Bins record the workload scale the experiment ran at,
+	// so stored results from different scales are distinguishable.
+	Pulses int `json:"pulses,omitempty"`
+	Bins   int `json:"bins,omitempty"`
+	Data   any `json:"data"`
+}
+
+// RawResult is the read-side counterpart of Result: Data stays raw for
+// the caller to decode into the experiment's concrete point type.
+type RawResult struct {
+	Name   string          `json:"name"`
+	Title  string          `json:"title"`
+	Pulses int             `json:"pulses"`
+	Bins   int             `json:"bins"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// Filename returns the canonical result file name for an experiment.
+func Filename(name string) string { return "BENCH_" + name + ".json" }
+
+// WriteFile writes r as indented JSON to dir/BENCH_<r.Name>.json and
+// returns the path.
+func WriteFile(dir string, r Result) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, Filename(r.Name))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ReadResult reads an envelope written by WriteFile.
+func ReadResult(path string) (RawResult, error) {
+	var r RawResult
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(b, &r)
+}
+
+// GBPFFBPResult is the JSON form of the GBP-vs-FFBP comparison.
+type GBPFFBPResult struct {
+	GBPSeconds  float64 `json:"gbp_seconds"`
+	FFBPSeconds float64 `json:"ffbp_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// Experiment runs the experiment selected by key (the cmd/benchtab -exp
+// names), prints its human-readable table to w and, when jsonDir is
+// non-empty, also writes the machine-readable envelope to
+// jsonDir/BENCH_<name>.json. Each experiment computes exactly once;
+// imgDir receives the fig7 image set.
+func Experiment(key string, w io.Writer, cfg report.Config, jsonDir, imgDir string) error {
+	var res Result
+	switch key {
+	case "t1":
+		t, err := report.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		io.WriteString(w, t.String())
+		res = Result{Name: "table1", Title: "Table I and energy ratios", Data: t}
+	case "fig7":
+		r, imgs, err := RunFigure7(cfg)
+		if err != nil {
+			return err
+		}
+		if err := saveFig7(imgs, imgDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", imgDir)
+		printFig7(w, r)
+		res = Result{Name: "fig7", Title: "Figure 7 quality metrics", Data: r}
+	case "scaling":
+		pts, err := RunScaling(cfg, []int{1, 2, 4, 8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		printScaling(w, pts)
+		res = Result{Name: "scaling", Title: "FFBP speedup vs core count", Data: pts}
+	case "bw":
+		pts, err := RunBandwidth(cfg, []float64{0.25, 0.5, 1, 2, 4})
+		if err != nil {
+			return err
+		}
+		printBandwidth(w, pts)
+		res = Result{Name: "bandwidth", Title: "Off-chip bandwidth sweep", Data: pts}
+	case "interp":
+		pts, err := RunInterp(cfg)
+		if err != nil {
+			return err
+		}
+		printInterp(w, pts)
+		res = Result{Name: "interp", Title: "FFBP quality vs interpolation kernel", Data: pts}
+	case "pipes":
+		pts, err := RunPipelines(cfg, []int{1, 2, 3, 4})
+		if err != nil {
+			return err
+		}
+		printPipelines(w, pts)
+		res = Result{Name: "pipelines", Title: "Autofocus pipeline replication", Data: pts}
+	case "gbp":
+		g, f, err := RunGBPvsFFBP(cfg)
+		if err != nil {
+			return err
+		}
+		printGBPvsFFBP(w, g, f)
+		res = Result{Name: "gbp_vs_ffbp", Title: "GBP vs FFBP complexity",
+			Data: GBPFFBPResult{GBPSeconds: g, FFBPSeconds: f, Speedup: g / f}}
+	case "base":
+		pts, err := RunBases(cfg, []int{2, 4})
+		if err != nil {
+			return err
+		}
+		printBases(w, pts)
+		res = Result{Name: "bases", Title: "Factorization base ablation", Data: pts}
+	case "rda":
+		r, err := RunMotivation(cfg)
+		if err != nil {
+			return err
+		}
+		printMotivation(w, r)
+		res = Result{Name: "motivation", Title: "Frequency vs time domain", Data: r}
+	case "upsample":
+		pts, err := RunUpsample(cfg, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		printUpsample(w, pts)
+		res = Result{Name: "upsample", Title: "Range oversampling ablation", Data: pts}
+	default:
+		return fmt.Errorf("unknown experiment %q", key)
+	}
+	if jsonDir == "" {
+		return nil
+	}
+	res.Pulses = cfg.Params.NumPulses
+	res.Bins = cfg.Params.NumBins
+	path, err := WriteFile(jsonDir, res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

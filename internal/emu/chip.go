@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sarmany/internal/machine"
+	"sarmany/internal/obs"
 	"sarmany/internal/sim"
 )
 
@@ -24,6 +25,17 @@ type Chip struct {
 	barBusy    []float64
 	phaseStart float64
 	trace      []PhaseRecord
+
+	// ran is the core count of the most recent Run; Time, MaxCycles and
+	// TotalStats aggregate only those cores so results of a narrower run
+	// are not skewed by stale state from a wider earlier one.
+	ran int
+
+	links []*Link // every link Connect has created, for metrics
+
+	// Event tracing (nil when disabled — the default).
+	tracer     *obs.Tracer
+	phaseTrack *obs.Track
 }
 
 // New constructs a chip with the given parameters.
@@ -68,6 +80,31 @@ func New(p Params) *Chip {
 // charged off-chip access costs by every core.
 func (ch *Chip) Ext() machine.Alloc { return ch.ext }
 
+// SetTracer attaches (or with nil detaches) an event tracer: every core
+// gets its own span track, plus one synthetic "phases" track carrying the
+// barrier-phase classification. Attach before Run; the tracks may be
+// exported once Run has returned. With no tracer attached the
+// instrumentation is a no-op — it never changes modeled cycle counts
+// either way, since it only observes timestamps.
+func (ch *Chip) SetTracer(tr *obs.Tracer) {
+	ch.tracer = tr
+	if tr == nil {
+		ch.phaseTrack = nil
+		for _, c := range ch.Cores {
+			c.tr = nil
+		}
+		return
+	}
+	tr.NameProcess(0, fmt.Sprintf("epiphany %dx%d", ch.P.Rows, ch.P.Cols))
+	ch.phaseTrack = tr.NewTrack(0, 0, "phases")
+	for _, c := range ch.Cores {
+		c.tr = tr.NewTrack(0, c.ID+1, fmt.Sprintf("core %d", c.ID))
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (ch *Chip) Tracer() *obs.Tracer { return ch.tracer }
+
 // Run executes fn concurrently on the first n cores (one goroutine per
 // core) and waits for completion. Barriers inside fn synchronize exactly
 // those n cores. n == 0 means all cores.
@@ -79,6 +116,7 @@ func (ch *Chip) Run(n int, fn func(c *Core)) {
 		panic(fmt.Sprintf("emu: cannot run on %d of %d cores", n, len(ch.Cores)))
 	}
 	ch.active = n
+	ch.ran = n
 	ch.bar = sim.NewRendezvous(n)
 	ch.phaseStart = 0
 	var wg sync.WaitGroup
@@ -121,58 +159,39 @@ func (ch *Chip) resolvePhase() {
 		ExtBusy:        totalBusy,
 		BandwidthBound: bwBound,
 	})
+	kind := obs.KindPhaseCompute
+	if bwBound {
+		kind = obs.KindPhaseBandwidth
+	}
+	ch.phaseTrack.Span(kind, ch.phaseStart, t)
 	ch.phaseStart = t
+}
+
+// activeCores returns the cores of the most recent Run, or all cores if
+// Run has not been used (sequential kernels drive Cores[0] directly).
+func (ch *Chip) activeCores() []*Core {
+	if ch.ran > 0 {
+		return ch.Cores[:ch.ran]
+	}
+	return ch.Cores
 }
 
 // Time returns the chip's execution time in seconds: the latest core
 // finish time over the cores that ran.
 func (ch *Chip) Time() float64 {
-	var max float64
-	for _, c := range ch.Cores {
-		if t := c.Cycles(); t > max {
-			max = t
-		}
-	}
-	return max / ch.P.Clock
+	return ch.MaxCycles() / ch.P.Clock
 }
 
-// MaxCycles returns the latest core finish time in cycles.
+// MaxCycles returns the latest core finish time in cycles over the cores
+// of the most recent Run.
 func (ch *Chip) MaxCycles() float64 {
 	var max float64
-	for _, c := range ch.Cores {
+	for _, c := range ch.activeCores() {
 		if t := c.Cycles(); t > max {
 			max = t
 		}
 	}
 	return max
-}
-
-// TotalStats sums the per-core statistics.
-func (ch *Chip) TotalStats() CoreStats {
-	var s CoreStats
-	for _, c := range ch.Cores {
-		s.FMA += c.Stats.FMA
-		s.Flop += c.Stats.Flop
-		s.IOp += c.Stats.IOp
-		s.Div += c.Stats.Div
-		s.Sqrt += c.Stats.Sqrt
-		s.Trig += c.Stats.Trig
-		s.LocalLoads += c.Stats.LocalLoads
-		s.LocalStores += c.Stats.LocalStores
-		s.RemoteReads += c.Stats.RemoteReads
-		s.RemoteWrites += c.Stats.RemoteWrites
-		s.ExtReads += c.Stats.ExtReads
-		s.ExtWrites += c.Stats.ExtWrites
-		s.ExtReadB += c.Stats.ExtReadB
-		s.ExtWriteB += c.Stats.ExtWriteB
-		s.NoCBytes += c.Stats.NoCBytes
-		s.DMATransfers += c.Stats.DMATransfers
-		s.DMABytes += c.Stats.DMABytes
-		s.BarrierWaits += c.Stats.BarrierWaits
-		s.StallCycles += c.Stats.StallCycles
-		s.ComputeCycles += c.Stats.ComputeCycles
-	}
-	return s
 }
 
 // Link is a one-way streaming connection between two cores, modelling the
@@ -184,18 +203,28 @@ type Link struct {
 	ch       *sim.Chan[[]complex64]
 	from, to *Core
 	hops     int
+
+	// Occupancy statistics. sends/bytes/sendStall are written only by the
+	// producer core's goroutine, recvs/recvStall only by the consumer's;
+	// read them after the Run completes.
+	sends, recvs uint64
+	bytes        uint64
+	sendStall    float64 // producer cycles lost to back-pressure
+	recvStall    float64 // consumer cycles waiting for a block
 }
 
 // Connect creates a link from core `from` to core `to` with the given
 // block capacity.
 func (ch *Chip) Connect(from, to, capacity int) *Link {
 	f, t := ch.Cores[from], ch.Cores[to]
-	return &Link{
+	l := &Link{
 		ch:   sim.NewChan[[]complex64](capacity),
 		from: f,
 		to:   t,
 		hops: abs(f.Row-t.Row) + abs(f.Col-t.Col),
 	}
+	ch.links = append(ch.links, l)
+	return l
 }
 
 // Send streams vals over the link. It must be called by the link's
@@ -216,9 +245,10 @@ func (l *Link) Send(c *Core, vals []complex64) {
 	block := append([]complex64(nil), vals...)
 	before := c.now
 	c.now = l.ch.Send(c.now, block, dur)
-	if c.now > before {
-		c.Stats.StallCycles += c.now - before
-	}
+	c.noteStall(obs.KindStallLink, before, c.now)
+	l.sendStall += c.now - before
+	l.sends++
+	l.bytes += uint64(n)
 	c.Stats.RemoteWrites++
 	c.Stats.NoCBytes += uint64(n)
 }
@@ -234,9 +264,12 @@ func (l *Link) Recv(c *Core) []complex64 {
 	c.commit()
 	v, now := l.ch.Recv(c.now)
 	if now > c.now {
-		c.Stats.StallCycles += now - c.now
+		before := c.now
 		c.now = now
+		c.noteStall(obs.KindStallLink, before, c.now)
+		l.recvStall += c.now - before
 	}
+	l.recvs++
 	// Local reads of the delivered block.
 	c.ialu += words(len(v) * 8)
 	c.Stats.LocalLoads++

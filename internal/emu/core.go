@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sarmany/internal/machine"
+	"sarmany/internal/obs"
 )
 
 // CoreStats accumulates the operation counts and traffic of one core.
@@ -22,6 +23,33 @@ type CoreStats struct {
 	BarrierWaits        uint64
 	StallCycles         float64 // cycles spent stalled on reads/DMA/links
 	ComputeCycles       float64 // cycles from the dual-issue pipes
+
+	// Per-cause breakdown of StallCycles, named after the obs span kinds:
+	// stalling remote reads, stalling off-chip reads, DMA completion
+	// waits, link back-pressure/empty waits, and barrier waits (including
+	// the off-chip drain the barrier settles).
+	ReadStallCycles    float64
+	ExtStallCycles     float64
+	DMAStallCycles     float64
+	LinkStallCycles    float64
+	BarrierStallCycles float64
+}
+
+// addStall accumulates cy stall cycles under the given cause.
+func (s *CoreStats) addStall(kind obs.Kind, cy float64) {
+	s.StallCycles += cy
+	switch kind {
+	case obs.KindStallRead:
+		s.ReadStallCycles += cy
+	case obs.KindStallExt:
+		s.ExtStallCycles += cy
+	case obs.KindStallDMA:
+		s.DMAStallCycles += cy
+	case obs.KindStallLink:
+		s.LinkStallCycles += cy
+	case obs.KindStallBarrier:
+		s.BarrierStallCycles += cy
+	}
 }
 
 // Core is one Epiphany processor tile: a dual-issue core (FPU + integer
@@ -41,6 +69,10 @@ type Core struct {
 
 	banks []*machine.Bump
 
+	// tr is the core's event-trace sink; nil (the default) disables
+	// tracing and every recording call is a free no-op.
+	tr *obs.Track
+
 	Stats CoreStats
 }
 
@@ -58,12 +90,27 @@ func (c *Core) commit() {
 	c.now += d
 	c.Stats.ComputeCycles += d
 	c.fpu, c.ialu = 0, 0
+	if d > 0 {
+		c.tr.Span(obs.KindCompute, c.now-d, c.now)
+	}
 }
 
-func (c *Core) stall(cycles float64) {
+func (c *Core) stall(cycles float64, kind obs.Kind) {
 	c.commit()
 	c.now += cycles
-	c.Stats.StallCycles += cycles
+	c.Stats.addStall(kind, cycles)
+	c.tr.Span(kind, c.now-cycles, c.now)
+}
+
+// noteStall records that the core's clock was advanced from `from` to
+// `to` by an external completion (DMA, link, barrier) and attributes the
+// gap to the given cause. A non-positive gap records nothing.
+func (c *Core) noteStall(kind obs.Kind, from, to float64) {
+	if to <= from {
+		return
+	}
+	c.Stats.addStall(kind, to-from)
+	c.tr.Span(kind, from, to)
 }
 
 // FMA charges n fused multiply-adds: one FPU cycle each.
@@ -109,13 +156,13 @@ func (c *Core) Load(addr uint32, n int) {
 		c.Stats.LocalLoads++
 	case locRemote:
 		p := &c.chip.P
-		c.stall(p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles + words(n)*8/p.NoCBytesPerCycle)
+		c.stall(p.RemoteReadBase+2*float64(hops)*p.RemoteHopCycles+words(n)*8/p.NoCBytesPerCycle, obs.KindStallRead)
 		c.Stats.RemoteReads++
 		c.Stats.NoCBytes += uint64(n)
 	case locExt:
 		p := &c.chip.P
 		service := float64(n) / p.ExtBytesPerCycle
-		c.stall(p.ExtReadLatency + service)
+		c.stall(p.ExtReadLatency+service, obs.KindStallExt)
 		c.extBusy += service
 		c.Stats.ExtReads++
 		c.Stats.ExtReadB += uint64(n)
@@ -256,8 +303,9 @@ func (c *Core) DMACopyC(dst *machine.BufC, do int, src *machine.BufC, so, n int)
 func (c *Core) DMAWait(d DMA) {
 	c.commit()
 	if d.done > c.now {
-		c.Stats.StallCycles += d.done - c.now
+		before := c.now
 		c.now = d.done
+		c.noteStall(obs.KindStallDMA, before, c.now)
 	}
 }
 
@@ -277,8 +325,6 @@ func (c *Core) Barrier() {
 	ch.bar.Wait(func() { ch.resolvePhase() })
 	before := c.now
 	c.now = ch.phaseStart
-	if c.now > before {
-		c.Stats.StallCycles += c.now - before
-	}
+	c.noteStall(obs.KindStallBarrier, before, c.now)
 	c.extBusy = 0
 }

@@ -26,26 +26,41 @@ type PhaseRecord struct {
 // Duration returns the phase length in cycles.
 func (p PhaseRecord) Duration() float64 { return p.End - p.Start }
 
+// Bound names what bound the phase, matching the registry metric names
+// ("emu.phase.compute_bound" / "emu.phase.bandwidth_bound") and the obs
+// span kinds ("phase.compute" / "phase.bandwidth").
+func (p PhaseRecord) Bound() string {
+	if p.BandwidthBound {
+		return "bandwidth"
+	}
+	return "compute"
+}
+
 // Phases returns the per-phase trace of the most recent Run, one record
 // per barrier.
 func (ch *Chip) Phases() []PhaseRecord { return ch.trace }
 
 // WritePhaseTable prints the phase trace as a table with a utilization bar
-// (share of the phase the off-chip channel was busy).
+// (share of the phase the off-chip channel was busy). Zero-duration
+// phases print "-" instead of a meaningless utilization, and the bar is
+// clamped to its 20-character width.
 func (ch *Chip) WritePhaseTable(w io.Writer) {
-	fmt.Fprintf(w, "%5s %14s %14s %9s %7s  %s\n",
+	fmt.Fprintf(w, "%5s %14s %14s %9s %10s  %s\n",
 		"phase", "cycles", "ext busy", "ext util", "bound", "")
 	for _, p := range ch.trace {
-		util := 0.0
+		utilCol, bar := "-", ""
 		if d := p.Duration(); d > 0 {
-			util = p.ExtBusy / d
+			util := p.ExtBusy / d
+			if util < 0 {
+				util = 0
+			}
+			utilCol = fmt.Sprintf("%.0f%%", util*100)
+			if util > 1 {
+				util = 1
+			}
+			bar = strings.Repeat("#", int(util*20+0.5))
 		}
-		bound := "compute"
-		if p.BandwidthBound {
-			bound = "bw"
-		}
-		bar := strings.Repeat("#", int(util*20+0.5))
-		fmt.Fprintf(w, "%5d %14.0f %14.0f %8.0f%% %7s  %s\n",
-			p.Index, p.Duration(), p.ExtBusy, util*100, bound, bar)
+		fmt.Fprintf(w, "%5d %14.0f %14.0f %9s %10s  %s\n",
+			p.Index, p.Duration(), p.ExtBusy, utilCol, p.Bound(), bar)
 	}
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTraceEvent writes the collected tracks in the Chrome trace_event
+// JSON format understood by Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing: metadata events naming each process and thread,
+// followed by one complete ("ph":"X") event per span. Timestamps are in
+// microseconds, converted from cycles with the tracer's clock. The output
+// is deterministic: processes sorted by pid, tracks in creation order,
+// spans in recording order.
+func (tr *Tracer) WriteTraceEvent(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for _, p := range tr.processes() {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`, p.pid, p.name))
+	}
+	usPerCycle := 1e6 / tr.clockHz
+	var buf []byte
+	for _, t := range tr.Tracks() {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			t.pid, t.tid, t.name))
+		for _, s := range t.Spans() {
+			buf = buf[:0]
+			buf = append(buf, `{"ph":"X","pid":`...)
+			buf = strconv.AppendInt(buf, int64(t.pid), 10)
+			buf = append(buf, `,"tid":`...)
+			buf = strconv.AppendInt(buf, int64(t.tid), 10)
+			buf = append(buf, `,"cat":"sim","name":"`...)
+			buf = append(buf, s.Kind.String()...)
+			buf = append(buf, `","ts":`...)
+			buf = strconv.AppendFloat(buf, s.Start*usPerCycle, 'f', 3, 64)
+			buf = append(buf, `,"dur":`...)
+			buf = strconv.AppendFloat(buf, s.Duration()*usPerCycle, 'f', 3, 64)
+			buf = append(buf, `}`...)
+			emit(string(buf))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// timelineGlyphs maps span kinds to the character that fills a timeline
+// cell: '#' compute, lower-case letters for stalls, upper-case for phase
+// classifications.
+var timelineGlyphs = [numKinds]byte{
+	KindCompute:        '#',
+	KindStallRead:      'r',
+	KindStallExt:       'e',
+	KindStallDMA:       'd',
+	KindStallLink:      'l',
+	KindStallBarrier:   'b',
+	KindStallMem:       'm',
+	KindPhaseCompute:   'C',
+	KindPhaseBandwidth: 'B',
+	KindService:        's',
+}
+
+// WriteTimeline renders the tracks as a fixed-width plain-text timeline:
+// one row per track, each of width cells covering [0, latest span end]
+// cycles, every cell showing the span kind that occupied most of it
+// (' ' = idle/untracked). A legend and the cycle span follow the rows.
+func (tr *Tracer) WriteTimeline(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	tracks := tr.Tracks()
+	var end float64
+	for _, t := range tracks {
+		for _, s := range t.Spans() {
+			if s.End > end {
+				end = s.End
+			}
+		}
+	}
+	if end == 0 {
+		_, err := fmt.Fprintln(w, "obs: no spans recorded")
+		return err
+	}
+	cell := end / float64(width)
+	nameW := 0
+	for _, t := range tracks {
+		if len(t.Name()) > nameW {
+			nameW = len(t.Name())
+		}
+	}
+	for _, t := range tracks {
+		// Weight per cell and kind; the dominant kind fills the cell.
+		weights := make([][numKinds]float64, width)
+		for _, s := range t.Spans() {
+			lo := int(s.Start / cell)
+			hi := int(s.End / cell)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				cLo := float64(i) * cell
+				cHi := cLo + cell
+				ov := minf(s.End, cHi) - maxf(s.Start, cLo)
+				if ov > 0 {
+					weights[i][s.Kind] += ov
+				}
+			}
+		}
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+			best := 0.0
+			for k, wt := range weights[i] {
+				if wt > best {
+					best = wt
+					row[i] = timelineGlyphs[k]
+				}
+			}
+		}
+		line := fmt.Sprintf("%-*s |%s|", nameW, t.Name(), row)
+		if d := t.Dropped(); d > 0 {
+			line += fmt.Sprintf(" (%d spans dropped)", d)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	var legend []string
+	for k := Kind(0); k < numKinds; k++ {
+		legend = append(legend, fmt.Sprintf("%c=%s", timelineGlyphs[k], k))
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0 .. %.0f cycles; %s\n",
+		nameW, "", end, strings.Join(legend, " "))
+	return err
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms. All
+// operations are safe for concurrent use; the simulator populates
+// registries after a run completes, so none of them sit on a hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically accumulating value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add accumulates delta into the counter.
+func (c *Counter) Add(delta float64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the accumulated value.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-write-wins value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates a distribution: count, sum, min, max and
+// power-of-two magnitude buckets (bucket i counts observations v with
+// 2^(i-1) <= v < 2^i; bucket 0 counts v < 1).
+type Histogram struct {
+	mu       sync.Mutex
+	count    uint64
+	sum      float64
+	min, max float64
+	buckets  [64]uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := 0
+	if v >= 1 {
+		i = int(math.Floor(math.Log2(v))) + 1
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+	}
+	h.buckets[i]++
+}
+
+// Metric is one snapshotted registry entry. Counters and gauges carry
+// Value; histograms carry Count/Sum/Min/Max/Mean and the non-empty
+// magnitude buckets.
+type Metric struct {
+	Name  string  `json:"name"`
+	Type  string  `json:"type"`
+	Value float64 `json:"value,omitempty"`
+
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	// Buckets maps power-of-two magnitude bucket upper bounds (as
+	// "<1", "<2", "<4", ...) to observation counts.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name.
+type Snapshot []Metric
+
+// Snapshot copies the registry's current state, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Type: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Type: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		m := Metric{Name: name, Type: "histogram", Count: h.count, Sum: h.sum}
+		if h.count > 0 {
+			m.Min, m.Max, m.Mean = h.min, h.max, h.sum/float64(h.count)
+			for i, n := range h.buckets {
+				if n == 0 {
+					continue
+				}
+				if m.Buckets == nil {
+					m.Buckets = map[string]uint64{}
+				}
+				m.Buckets[bucketLabel(i)] = n
+			}
+		}
+		h.mu.Unlock()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "<1"
+	}
+	return fmt.Sprintf("<%.0f", math.Pow(2, float64(i)))
+}
+
+// Get returns the metric with the given name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns the value of the named counter or gauge (0 if absent).
+func (s Snapshot) Value(name string) float64 {
+	m, _ := s.Get(name)
+	return m.Value
+}
+
+// WriteJSON writes the snapshot as an indented JSON array.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as CSV with a header row. Histogram bucket
+// detail is elided; Count/Sum/Min/Max/Mean are kept.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "name,type,value,count,sum,min,max,mean"); err != nil {
+		return err
+	}
+	for _, m := range s {
+		if _, err := fmt.Fprintf(w, "%s,%s,%v,%d,%v,%v,%v,%v\n",
+			m.Name, m.Type, m.Value, m.Count, m.Sum, m.Min, m.Max, m.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}

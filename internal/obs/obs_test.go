@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTrackIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.NameProcess(0, "none")
+	tk := tr.NewTrack(0, 1, "core 0")
+	if tk != nil {
+		t.Fatal("nil tracer returned a non-nil track")
+	}
+	tk.Span(KindCompute, 0, 10) // must not panic
+	if tk.Len() != 0 || tk.Dropped() != 0 || tk.Spans() != nil || tk.Name() != "" {
+		t.Error("nil track not inert")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		tk.Span(KindCompute, 0, 10)
+		tk.Span(KindStallExt, 10, 20)
+	}); n != 0 {
+		t.Errorf("nil track allocates %v per run", n)
+	}
+}
+
+func TestTrackRecordsInOrder(t *testing.T) {
+	tr := NewTracer(1e9)
+	tk := tr.NewTrack(0, 1, "core 0")
+	tk.Span(KindCompute, 0, 5)
+	tk.Span(KindStallExt, 5, 9)
+	tk.Span(KindCompute, 9, 9) // zero length: ignored
+	tk.Span(KindCompute, 12, 20)
+	spans := tk.Spans()
+	if len(spans) != 2+1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Kind != KindCompute || spans[1].Kind != KindStallExt {
+		t.Errorf("span kinds wrong: %+v", spans)
+	}
+	if spans[2].Start != 12 || spans[2].Duration() != 8 {
+		t.Errorf("last span %+v", spans[2])
+	}
+	if tk.Dropped() != 0 {
+		t.Errorf("dropped %d", tk.Dropped())
+	}
+}
+
+func TestTrackRingDropsOldest(t *testing.T) {
+	tr := NewTracer(1e9)
+	tr.SetCapacity(4)
+	tk := tr.NewTrack(0, 1, "ring")
+	for i := 0; i < 10; i++ {
+		tk.Span(KindCompute, float64(i), float64(i)+1)
+	}
+	if tk.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", tk.Dropped())
+	}
+	spans := tk.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans retained", len(spans))
+	}
+	for i, s := range spans {
+		if want := float64(6 + i); s.Start != want {
+			t.Errorf("span %d starts at %v, want %v (oldest must be dropped first)", i, s.Start, want)
+		}
+	}
+}
+
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(1e9)
+	tr.SetCapacity(8)
+	tk := tr.NewTrack(0, 1, "hot")
+	var at float64
+	if n := testing.AllocsPerRun(1000, func() {
+		tk.Span(KindCompute, at, at+1)
+		at++
+	}); n != 0 {
+		t.Errorf("recording allocates %v per span", n)
+	}
+}
+
+func TestConcurrentTracksAreIndependent(t *testing.T) {
+	tr := NewTracer(1e9)
+	const nTracks, nSpans = 16, 500
+	var wg sync.WaitGroup
+	for i := 0; i < nTracks; i++ {
+		tk := tr.NewTrack(0, i+1, "core")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < nSpans; j++ {
+				tk.Span(KindCompute, float64(j), float64(j)+0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, tk := range tr.Tracks() {
+		if tk.Len() != nSpans {
+			t.Errorf("track %q has %d spans, want %d", tk.Name(), tk.Len(), nSpans)
+		}
+	}
+}

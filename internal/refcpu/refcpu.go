@@ -13,6 +13,7 @@ package refcpu
 
 import (
 	"sarmany/internal/machine"
+	"sarmany/internal/obs"
 )
 
 // Params holds the timing constants of the reference CPU. Values derive
@@ -91,6 +92,10 @@ type CPU struct {
 	cycles float64
 	heap   *machine.Bump
 
+	// tr is the CPU's event-trace sink; nil (the default) disables
+	// tracing at zero cost.
+	tr *obs.Track
+
 	Stats Stats
 }
 
@@ -118,6 +123,39 @@ func New(p Params) *CPU {
 
 // Mem returns the allocator for the model's main memory.
 func (c *CPU) Mem() machine.Alloc { return c.heap }
+
+// SetTracer attaches (or with nil detaches) an event tracer. The CPU
+// records stall spans for accesses served beyond the L2 (where the model
+// charges unhidden miss latency); attach before running a kernel.
+func (c *CPU) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		c.tr = nil
+		return
+	}
+	tr.NameProcess(1, "refcpu i7")
+	c.tr = tr.NewTrack(1, 1, "cpu")
+}
+
+// Metrics publishes the run's state into a fresh registry: operation
+// counters ("cpu.ops.*"), the cache-level service distribution
+// ("cpu.mem.served.*") and elapsed cycles ("cpu.cycles").
+func (c *CPU) Metrics() *obs.Registry {
+	reg := obs.NewRegistry()
+	s := &c.Stats
+	reg.Counter("cpu.ops.fma").Add(float64(s.FMA))
+	reg.Counter("cpu.ops.flop").Add(float64(s.Flop))
+	reg.Counter("cpu.ops.iop").Add(float64(s.IOp))
+	reg.Counter("cpu.ops.div").Add(float64(s.Div))
+	reg.Counter("cpu.ops.sqrt").Add(float64(s.Sqrt))
+	reg.Counter("cpu.ops.trig").Add(float64(s.Trig))
+	reg.Counter("cpu.mem.loads").Add(float64(s.Loads))
+	reg.Counter("cpu.mem.stores").Add(float64(s.Stores))
+	for lvl, name := range [4]string{"l1", "l2", "l3", "dram"} {
+		reg.Counter("cpu.mem.served." + name).Add(float64(s.Served[lvl]))
+	}
+	reg.Gauge("cpu.cycles").Set(c.cycles)
+	return reg
+}
 
 // FMA charges n fused multiply-adds, expanded to multiply+add pairs.
 func (c *CPU) FMA(n int) {
@@ -172,6 +210,7 @@ func (c *CPU) Store(addr uint32, n int) {
 func (c *CPU) access(addr uint32, n int) {
 	lvl := c.hier.Access(addr, n)
 	c.Stats.Served[lvl]++
+	before := c.cycles
 	switch lvl {
 	case ServedL1:
 		c.cycles += c.P.L1HitCycles
@@ -181,6 +220,9 @@ func (c *CPU) access(addr uint32, n int) {
 		c.cycles += c.P.L1HitCycles + c.P.L3HitCycles*(1-c.P.MissOverlap)
 	case ServedMem:
 		c.cycles += c.P.L1HitCycles + c.P.MemCycles*(1-c.P.MissOverlap)
+	}
+	if lvl >= ServedL3 {
+		c.tr.Span(obs.KindStallMem, before, c.cycles)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sarmany/internal/energy"
 	"sarmany/internal/geom"
 	"sarmany/internal/kernels"
+	"sarmany/internal/obs"
 	"sarmany/internal/refcpu"
 	"sarmany/internal/sar"
 )
@@ -86,16 +87,16 @@ func Small() Config {
 
 // Row is one implementation line of Table I.
 type Row struct {
-	Impl    string
-	Cores   int
-	Seconds float64
+	Impl    string  `json:"impl"`
+	Cores   int     `json:"cores"`
+	Seconds float64 `json:"seconds"`
 	// PixPerSec is the throughput in processed pixels per second (the
 	// paper reports it for the autofocus case study).
-	PixPerSec float64
+	PixPerSec float64 `json:"pix_per_s"`
 	// Speedup is relative to the sequential Intel implementation.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// PowerW is the estimated power from datasheet figures.
-	PowerW float64
+	PowerW float64 `json:"power_w"`
 }
 
 // Estimate converts the row to an energy estimate over its workload.
@@ -104,15 +105,20 @@ func (r Row) Estimate() energy.Estimate {
 }
 
 // Table1 holds the reproduced paper Table I plus the derived energy
-// ratios.
+// ratios and metric snapshots of the parallel Epiphany runs.
 type Table1 struct {
-	FFBP      [3]Row // seq Intel, seq Epiphany, parallel Epiphany
-	Autofocus [3]Row
+	FFBP      [3]Row `json:"ffbp"` // seq Intel, seq Epiphany, parallel Epiphany
+	Autofocus [3]Row `json:"autofocus"`
 	// FFBPEnergyRatio and AutofocusEnergyRatio are the Sec. VI-A
 	// throughput-per-watt ratios of the parallel Epiphany implementations
 	// over sequential Intel (paper: 38x and 78x).
-	FFBPEnergyRatio      float64
-	AutofocusEnergyRatio float64
+	FFBPEnergyRatio      float64 `json:"ffbp_energy_ratio"`
+	AutofocusEnergyRatio float64 `json:"autofocus_energy_ratio"`
+	// FFBPMetrics and AutofocusMetrics snapshot the chip metrics registry
+	// of the two parallel Epiphany runs (ops, traffic, stall causes,
+	// phase classification, link occupancy).
+	FFBPMetrics      obs.Snapshot `json:"ffbp_metrics,omitempty"`
+	AutofocusMetrics obs.Snapshot `json:"autofocus_metrics,omitempty"`
 }
 
 // RunTable1 executes all six implementations of Table I on freshly
@@ -149,6 +155,7 @@ func RunTable1(cfg Config) (*Table1, error) {
 	t.FFBP[2] = Row{Impl: "Parallel on Epiphany", Cores: cfg.FFBPCores,
 		Seconds: chPar.Time(), PixPerSec: imgPixels / chPar.Time(),
 		PowerW: cfg.Epiphany.MaxPowerWatts}
+	t.FFBPMetrics = chPar.Metrics().Snapshot()
 
 	// Autofocus workload.
 	pairs := AutofocusWorkload(cfg)
@@ -178,6 +185,7 @@ func RunTable1(cfg Config) (*Table1, error) {
 	t.Autofocus[2] = Row{Impl: "Parallel on Epiphany", Cores: 13,
 		Seconds: chParA.Time(), PixPerSec: afPixels / chParA.Time(),
 		PowerW: cfg.Epiphany.MaxPowerWatts}
+	t.AutofocusMetrics = chParA.Metrics().Snapshot()
 
 	// Speedups relative to sequential Intel.
 	for i := range t.FFBP {
