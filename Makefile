@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench clean
+.PHONY: all check fmt vet build test race bench sweepbench docscheck clean
 
 all: check
 
 # check runs the full verification gate: formatting, static analysis,
-# build, and the race-enabled test suite.
-check: fmt vet build race
+# build, package-doc coverage, the race-enabled test suite, and the
+# sweep-engine throughput measurement.
+check: fmt vet build docscheck race sweepbench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,6 +27,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# sweepbench exercises the concurrent sweep engine under the race
+# detector and records its throughput as BENCH_sweep.json.
+sweepbench:
+	SWEEPBENCH_OUT=$(CURDIR) $(GO) test -race -run TestSweep -count=1 ./internal/sweep
+
+# docscheck fails when any package lacks a package doc comment.
+docscheck:
+	./scripts/checkdocs.sh
 
 clean:
 	rm -rf out BENCH_*.json

@@ -10,6 +10,7 @@
 package sarmany_test
 
 import (
+	"context"
 	"testing"
 
 	"sarmany"
@@ -127,7 +128,7 @@ func BenchmarkEnergy(b *testing.B) {
 	var tab *report.Table1
 	for i := 0; i < b.N; i++ {
 		var err error
-		tab, err = report.RunTable1(cfg)
+		tab, err = report.RunTable1(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkFigure7(b *testing.B) {
 	var res bench.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, _, err = bench.RunFigure7(cfg)
+		res, _, err = bench.RunFigure7(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkScaling(b *testing.B) {
 	var pts []bench.ScalingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.RunScaling(cfg, []int{1, 2, 4, 8, 16, 32, 64})
+		pts, err = bench.RunScaling(context.Background(), cfg, []int{1, 2, 4, 8, 16, 32, 64})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func BenchmarkBandwidthRatio(b *testing.B) {
 	var pts []bench.BandwidthPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.RunBandwidth(cfg, []float64{0.25, 1, 4})
+		pts, err = bench.RunBandwidth(context.Background(), cfg, []float64{0.25, 1, 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func BenchmarkInterpolation(b *testing.B) {
 	var pts []bench.InterpPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.RunInterp(cfg)
+		pts, err = bench.RunInterp(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +225,7 @@ func BenchmarkPipelines(b *testing.B) {
 	var pts []bench.PipelinePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.RunPipelines(cfg, []int{1, 4})
+		pts, err = bench.RunPipelines(context.Background(), cfg, []int{1, 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,7 +241,7 @@ func BenchmarkGBPvsFFBPModel(b *testing.B) {
 	var g, f float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		g, f, err = bench.RunGBPvsFFBP(cfg)
+		g, f, err = bench.RunGBPvsFFBP(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func BenchmarkMotivation(b *testing.B) {
 	var r bench.MotivationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = bench.RunMotivation(cfg)
+		r, err = bench.RunMotivation(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func BenchmarkBases(b *testing.B) {
 	var pts []bench.BasePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = bench.RunBases(cfg, []int{2, 4})
+		pts, err = bench.RunBases(context.Background(), cfg, []int{2, 4})
 		if err != nil {
 			b.Fatal(err)
 		}

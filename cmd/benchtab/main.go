@@ -3,6 +3,11 @@
 // Sec. VI-A energy-efficiency ratios, the Fig. 7 image set, and the
 // ablation sweeps listed in DESIGN.md.
 //
+// Experiments run through the internal/sweep engine: independent
+// experiments fan out across -j workers, and with -cache-dir each
+// result envelope is cached by a content address of its configuration,
+// so a repeated run only simulates what changed.
+//
 // Usage:
 //
 //	benchtab -exp t1                 # Table I + energy ratios (paper scale)
@@ -13,18 +18,26 @@
 //	benchtab -exp bw                 # autofocus throughput vs off-chip bandwidth
 //	benchtab -exp interp             # FFBP quality vs interpolation kernel
 //	benchtab -exp all                # everything
+//	benchtab -exp all -j 8           # everything, eight experiments at a time
+//	benchtab -exp all -cache-dir .benchcache   # skip unchanged experiments
+//	benchtab -exp all -timeout 10m   # bound each experiment's run time
+//	benchtab -exp all -metrics m.json          # sweep progress counters
 //
 // With -json, each experiment additionally writes a machine-readable
-// BENCH_<name>.json envelope into -jsondir (default ".").
+// BENCH_<name>.json envelope into -jsondir (default "."). Cached and
+// fresh runs write byte-identical envelopes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"sarmany/internal/bench"
+	"sarmany/internal/obs"
 	"sarmany/internal/report"
+	"sarmany/internal/sweep"
 )
 
 // experiments maps -exp keys to display titles, in -exp all order.
@@ -47,37 +60,95 @@ func main() {
 	out := flag.String("out", "out", "output directory for images")
 	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<name>.json results")
 	jsonDir := flag.String("jsondir", ".", "directory for BENCH_<name>.json files (with -json)")
+	jobs := flag.Int("j", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = no caching)")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+	metricF := flag.String("metrics", "", "write a sweep metrics snapshot JSON file")
 	flag.Parse()
 
 	cfg := report.Default()
 	if *small {
 		cfg = report.Small()
 	}
-	dir := ""
-	if *jsonOut {
-		dir = *jsonDir
+
+	selected := experiments
+	if *exp != "all" {
+		selected = nil
+		for _, e := range experiments {
+			if e.key == *exp {
+				selected = []struct{ key, title string }{e}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
 	}
 
-	run := func(key, title string) {
-		fmt.Printf("== %s ==\n", title)
-		if err := bench.Experiment(key, os.Stdout, cfg, dir, *out); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", title, err)
+	sweepJobs := make([]sweep.Job, len(selected))
+	for i, e := range selected {
+		sweepJobs[i] = sweep.Job{Name: e.title, Exp: e.key, Config: cfg}
+	}
+
+	reg := obs.NewRegistry()
+	imgDir := *out
+	results, err := sweep.Run(context.Background(), sweepJobs, sweep.Options{
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
+		Timeout:  *timeout,
+		Metrics:  reg,
+		Run: func(ctx context.Context, j sweep.Job) (bench.Result, error) {
+			return bench.Compute(ctx, j.Exp, j.Config, imgDir)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, r := range results {
+		header := fmt.Sprintf("== %s ==", r.Job.Name)
+		if r.Cached {
+			header += " (cached)"
+		}
+		fmt.Println(header)
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, r.Err)
+			continue
+		}
+		if r.Job.Exp == "fig7" && !r.Cached {
+			fmt.Printf("wrote %s\n", imgDir)
+		}
+		if err := bench.PrintResult(os.Stdout, r.Result); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			path, err := bench.WriteFileRaw(*jsonDir, r.Result.Name, r.Raw)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 
-	if *exp == "all" {
-		for _, e := range experiments {
-			run(e.key, e.title)
+	if *metricF != "" {
+		f, err := os.Create(*metricF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
 		}
-		return
-	}
-	for _, e := range experiments {
-		if e.key == *exp {
-			run(e.key, e.title)
-			return
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
 		}
+		f.Close()
 	}
-	fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
-	os.Exit(2)
+	if failed {
+		os.Exit(1)
+	}
 }

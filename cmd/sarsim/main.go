@@ -12,15 +12,25 @@
 //	sarsim -patherr-amp 1.5 -patherr-period 400 -o data.sar
 //	sarsim -o data.sar -png raw.png           # also render the raw data
 //	sarsim -o data.sar -json                  # print dataset metadata as JSON
+//	sarsim -j 8 -o data.sar                   # synthesize pulses on 8 workers
+//	sarsim -cache-dir .sarcache -o data.sar   # reuse a previously built dataset
+//
+// -j fans the per-pulse synthesis across a worker pool (the output is
+// bit-identical for any worker count). -cache-dir keys the finished
+// dataset by a content address of every generation parameter, so
+// repeating an invocation copies the cached file instead of resimulating.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -35,20 +45,22 @@ func main() {
 	log.SetPrefix("sarsim: ")
 
 	var (
-		out     = flag.String("o", "data.sar", "output data file")
-		pngOut  = flag.String("png", "", "optional PNG rendering of the raw data")
-		pulses  = flag.Int("pulses", 0, "number of pulses (default: paper's 1024)")
-		bins    = flag.Int("bins", 0, "range bins per pulse (default: paper's 1001)")
-		r0      = flag.Float64("r0", 0, "near range of bin 0 in metres (default 2000)")
-		targets = flag.String("targets", "", `scene as "u,y,amp;..." (default: six-target scene)`)
-		peAmp   = flag.Float64("patherr-amp", 0, "flight-path error amplitude (m)")
-		pePer   = flag.Float64("patherr-period", 500, "flight-path error period (m)")
-		chirp   = flag.Bool("chirp", false, "synthesize raw chirp echoes and pulse-compress them (slower) instead of direct synthesis")
-		noise   = flag.Float64("noise", 0, "complex Gaussian noise deviation per sample")
-		rfi     = flag.Float64("rfi", 0, "narrowband interference amplitude (0 = none)")
-		rfiFreq = flag.Float64("rfi-freq", 0.21, "interference frequency (cycles/sample)")
-		notch   = flag.Float64("notch", 0, "notch-filter threshold (0 = no filtering; typical 4-8)")
-		jsonOut = flag.Bool("json", false, "print dataset metadata as JSON instead of text")
+		out      = flag.String("o", "data.sar", "output data file")
+		pngOut   = flag.String("png", "", "optional PNG rendering of the raw data")
+		pulses   = flag.Int("pulses", 0, "number of pulses (default: paper's 1024)")
+		bins     = flag.Int("bins", 0, "range bins per pulse (default: paper's 1001)")
+		r0       = flag.Float64("r0", 0, "near range of bin 0 in metres (default 2000)")
+		targets  = flag.String("targets", "", `scene as "u,y,amp;..." (default: six-target scene)`)
+		peAmp    = flag.Float64("patherr-amp", 0, "flight-path error amplitude (m)")
+		pePer    = flag.Float64("patherr-period", 500, "flight-path error period (m)")
+		chirp    = flag.Bool("chirp", false, "synthesize raw chirp echoes and pulse-compress them (slower) instead of direct synthesis")
+		noise    = flag.Float64("noise", 0, "complex Gaussian noise deviation per sample")
+		rfi      = flag.Float64("rfi", 0, "narrowband interference amplitude (0 = none)")
+		rfiFreq  = flag.Float64("rfi-freq", 0.21, "interference frequency (cycles/sample)")
+		notch    = flag.Float64("notch", 0, "notch-filter threshold (0 = no filtering; typical 4-8)")
+		jsonOut  = flag.Bool("json", false, "print dataset metadata as JSON instead of text")
+		workers  = flag.Int("j", 0, "pulse-synthesis workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "dataset cache directory (empty = no caching)")
 	)
 	flag.Parse()
 
@@ -83,35 +95,55 @@ func main() {
 		}
 	}
 
-	data := func() *mat.C {
+	// The cache key covers every parameter that shapes the dataset bytes;
+	// -j deliberately stays out (synthesis is bit-identical per worker
+	// count), as do output paths.
+	key := ""
+	if *cacheDir != "" {
+		key = datasetKey(p, scene, *peAmp, *pePer, *chirp, *noise, *rfi, *rfiFreq, *notch)
+	}
+
+	var data *mat.C
+	notched := 0
+	cached := false
+	if key != "" {
+		if d, n, ok := loadCachedDataset(*cacheDir, key); ok {
+			data, notched, cached = d, n, true
+		}
+	}
+	if data == nil {
 		if *chirp {
 			ch := p.DefaultChirp()
-			raw := sar.SimulateRaw(p, ch, scene, pathErr)
-			return sar.Compress(p, ch, raw)
+			raw := sar.SimulateRawPar(p, ch, scene, pathErr, *workers)
+			data = sar.Compress(p, ch, raw)
+		} else {
+			data = sar.SimulatePar(p, scene, pathErr, *workers)
 		}
-		return sar.Simulate(p, scene, pathErr)
-	}()
-
-	if *rfi != 0 {
-		sar.InjectRFI(data, *rfiFreq, float32(*rfi), 0.7)
+		if *rfi != 0 {
+			sar.InjectRFI(data, *rfiFreq, float32(*rfi), 0.7)
+		}
+		if *noise > 0 {
+			sar.AddNoise(data, *noise, 1)
+		}
+		if *notch > 0 {
+			n, err := sar.NotchFilter(data, *notch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			notched = n
+		}
 	}
-	if *noise > 0 {
-		sar.AddNoise(data, *noise, 1)
-	}
-	notched := 0
-	if *notch > 0 {
-		n, err := sar.NotchFilter(data, *notch)
-		if err != nil {
-			log.Fatal(err)
-		}
-		notched = n
-		if !*jsonOut {
-			fmt.Printf("notch filter excised %d spectral bins\n", n)
-		}
+	if *notch > 0 && !*jsonOut {
+		fmt.Printf("notch filter excised %d spectral bins\n", notched)
 	}
 
 	if err := dataio.WriteFile(*out, p, data); err != nil {
 		log.Fatal(err)
+	}
+	if key != "" && !cached {
+		if err := storeCachedDataset(*cacheDir, key, p, data, notched); err != nil {
+			log.Printf("cache store failed: %v", err)
+		}
 	}
 
 	if *pngOut != "" {
@@ -153,6 +185,76 @@ func main() {
 	if *pngOut != "" {
 		fmt.Printf("wrote %s\n", *pngOut)
 	}
+}
+
+// datasetKey content-addresses a dataset: a SHA-256 over the canonical
+// JSON of every generation parameter. encoding/json marshals struct
+// fields in declaration order, so equal parameter sets hash equally.
+// The "v1" salt invalidates old entries if the synthesis code changes.
+func datasetKey(p sar.Params, scene []sar.Target, peAmp, pePer float64, chirp bool, noise, rfi, rfiFreq, notch float64) string {
+	b, err := json.Marshal(struct {
+		Salt    string       `json:"salt"`
+		Params  sar.Params   `json:"params"`
+		Scene   []sar.Target `json:"scene"`
+		PEAmp   float64      `json:"patherr_amp"`
+		PEPer   float64      `json:"patherr_period"`
+		Chirp   bool         `json:"chirp"`
+		Noise   float64      `json:"noise"`
+		RFI     float64      `json:"rfi"`
+		RFIFreq float64      `json:"rfi_freq"`
+		Notch   float64      `json:"notch"`
+	}{"sarsim-v1", p, scene, peAmp, pePer, chirp, noise, rfi, rfiFreq, notch})
+	if err != nil {
+		log.Fatal(err) // plain-data structs; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheMeta is the sidecar record stored next to a cached dataset for
+// byproducts that are not part of the .sar bytes.
+type cacheMeta struct {
+	NotchedBins int `json:"notched_bins"`
+}
+
+func cachePaths(dir, key string) (dataPath, metaPath string) {
+	base := filepath.Join(dir, "sarsim-"+key)
+	return base + ".sar", base + ".json"
+}
+
+// loadCachedDataset returns the cached dataset and its notched-bins
+// count, or ok=false on any miss (absent, unreadable, or corrupt — the
+// rerun overwrites it).
+func loadCachedDataset(dir, key string) (*mat.C, int, bool) {
+	dataPath, metaPath := cachePaths(dir, key)
+	_, data, err := dataio.ReadFile(dataPath)
+	if err != nil {
+		return nil, 0, false
+	}
+	var meta cacheMeta
+	mb, err := os.ReadFile(metaPath)
+	if err != nil || json.Unmarshal(mb, &meta) != nil {
+		return nil, 0, false
+	}
+	return data, meta.NotchedBins, true
+}
+
+// storeCachedDataset writes the dataset and its sidecar meta into the
+// cache. The meta file lands last so a reader that sees it can rely on
+// the dataset being complete.
+func storeCachedDataset(dir, key string, p sar.Params, data *mat.C, notched int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dataPath, metaPath := cachePaths(dir, key)
+	if err := dataio.WriteFile(dataPath, p, data); err != nil {
+		return err
+	}
+	mb, err := json.Marshal(cacheMeta{NotchedBins: notched})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(metaPath, mb, 0o644)
 }
 
 func parseTargets(s string) ([]sar.Target, error) {

@@ -4,9 +4,17 @@
 // contributing subaperture). A sweep of candidate compensations is
 // evaluated with the focus criterion (paper eq. 6); the maximum recovers
 // the displacement.
+//
+// The candidates are independent, so they run through the sweep engine —
+// one job per candidate, fanned across -j workers and collected back in
+// candidate order. This is exactly how the paper's 13-core pipeline
+// parallelizes the criterion over (pair, shift) work items.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -17,24 +25,62 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	workers := flag.Int("j", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+	flag.Parse()
 
 	const truth = 0.6 // pixels of range displacement between the blocks
 
 	fMinus := blob(2.5, 2.5)
 	fPlus := blob(2.5, 2.5+truth)
 
+	// One job per candidate compensation; Extra (the shift) distinguishes
+	// the jobs. The runner scores a single candidate with the criterion.
 	candidates := sarmany.RangeSweep(-1.5, 1.5, 25)
-	best, all, err := sarmany.SearchCompensation(&fMinus, &fPlus, candidates)
+	jobs := make([]sarmany.SweepJob, len(candidates))
+	for i, s := range candidates {
+		jobs[i] = sarmany.SweepJob{
+			Name: fmt.Sprintf("shift%+.3f", s.DRange), Exp: "example-autofocus",
+			Extra: s,
+		}
+	}
+
+	results, err := sarmany.RunSweep(context.Background(), jobs, sarmany.SweepOptions{
+		Workers: *workers,
+		Run: func(ctx context.Context, j sarmany.SweepJob) (sarmany.BenchResult, error) {
+			s := j.Extra.(sarmany.Shift)
+			score := sarmany.Criterion(&fMinus, &fPlus, s)
+			return sarmany.BenchResult{
+				Name: j.Name, Title: "focus criterion point",
+				Data: sarmany.FocusResult{Shift: s, Score: score},
+			}, nil
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Results come back in candidate order regardless of which worker
+	// finished first, so the sweep table prints in shift order.
+	all := make([]sarmany.FocusResult, len(results))
+	var best sarmany.FocusResult
 	var peak float64
-	for _, r := range all {
-		if r.Score > peak {
-			peak = r.Score
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fr, err := decodeResult(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all[i] = fr
+		if fr.Score > peak {
+			peak = fr.Score
+		}
+		if fr.Score > best.Score || i == 0 {
+			best = fr
 		}
 	}
+
 	fmt.Printf("true displacement: %+.2f px\n\n%10s  %12s\n", truth, "shift(px)", "criterion")
 	for _, r := range all {
 		fmt.Printf("%10.3f  %12.4g  %s\n", r.Shift.DRange, r.Score,
@@ -42,6 +88,20 @@ func main() {
 	}
 	fmt.Printf("\nbest compensation: %+.3f px (error %.3f px)\n",
 		best.Shift.DRange, math.Abs(best.Shift.DRange-truth))
+}
+
+// decodeResult unwraps a result's payload, which is the concrete
+// FocusResult for a fresh run and raw JSON when replayed from a cache.
+func decodeResult(r sarmany.SweepJobResult) (sarmany.FocusResult, error) {
+	switch v := r.Result.Data.(type) {
+	case sarmany.FocusResult:
+		return v, nil
+	case json.RawMessage:
+		var fr sarmany.FocusResult
+		err := json.Unmarshal(v, &fr)
+		return fr, err
+	}
+	return sarmany.FocusResult{}, fmt.Errorf("unexpected payload %T", r.Result.Data)
 }
 
 // blob samples a smooth complex Gaussian centred at (cr, cc) in block

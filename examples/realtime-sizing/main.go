@@ -4,9 +4,15 @@
 // least that fast, within the airframe's power budget. This example
 // measures both machine models on the FFBP workload and sizes a
 // deployment for each.
+//
+// The Table I measurement runs as a sweep job through the built-in
+// benchtab runner: with -cache-dir set, a rerun replays the cached
+// envelope instead of resimulating both machines.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,11 +21,27 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = no caching)")
+	flag.Parse()
 
 	cfg := sarmany.SmallExperiment()
-	tab, err := sarmany.RunTable1(cfg)
+	jobs := []sarmany.SweepJob{{Name: "Table I", Exp: "t1", Config: cfg}}
+	results, err := sarmany.RunSweep(context.Background(), jobs, sarmany.SweepOptions{
+		CacheDir: *cacheDir,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if results[0].Err != nil {
+		log.Fatal(results[0].Err)
+	}
+	data, err := sarmany.SweepData(results[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := data.(*sarmany.Table1)
+	if results[0].Cached {
+		fmt.Println("(Table I replayed from cache)")
 	}
 
 	req, err := sarmany.RequirementFor(cfg.Params, 120) // 120 m/s platform

@@ -3,9 +3,16 @@
 // same kernel onto growing meshes and shows where the shared off-chip
 // memory bandwidth caps the speedup — the architectural limit the paper's
 // Sec. VI analysis predicts.
+//
+// The per-core-count simulations are independent, so they run through
+// the sweep engine: -j fans them across a worker pool, and -cache-dir
+// makes a rerun replay cached results instead of resimulating.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -13,8 +20,18 @@ import (
 	"sarmany"
 )
 
+// point is this example's envelope payload: the modeled FFBP run time on
+// one mesh size.
+type point struct {
+	Cores   int     `json:"cores"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	log.SetFlags(0)
+	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = no caching)")
+	flag.Parse()
 
 	p := sarmany.DefaultParams()
 	p.NumPulses = 256
@@ -23,28 +40,76 @@ func main() {
 	box := sarmany.SceneBox{UMin: -40, UMax: 40, YMin: 510, YMax: 610, ThetaPad: 0.05}
 	data := sarmany.Simulate(p, sarmany.SixTargetScene(p), nil)
 
+	// One job per mesh size; Extra (the core count) distinguishes the
+	// cache keys, since every job shares the same configuration.
+	cfg := sarmany.ExperimentConfig{Params: p, Box: box}
+	coreCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	jobs := make([]sarmany.SweepJob, len(coreCounts))
+	for i, n := range coreCounts {
+		jobs[i] = sarmany.SweepJob{
+			Name: fmt.Sprintf("ffbp-%dcores", n), Exp: "example-scaling",
+			Config: cfg, Extra: n,
+		}
+	}
+
+	results, err := sarmany.RunSweep(context.Background(), jobs, sarmany.SweepOptions{
+		Workers:  *workers,
+		CacheDir: *cacheDir,
+		Run: func(ctx context.Context, j sarmany.SweepJob) (sarmany.BenchResult, error) {
+			n := j.Extra.(int)
+			params := sarmany.EpiphanyE16G3()
+			if n > 16 {
+				params = sarmany.EpiphanyE64()
+			}
+			chip := sarmany.NewEpiphany(params)
+			if _, _, err := sarmany.EpiphanyFFBP(chip, n, data, p, box); err != nil {
+				return sarmany.BenchResult{}, err
+			}
+			return sarmany.BenchResult{
+				Name: j.Name, Title: "FFBP scaling point",
+				Pulses: p.NumPulses, Bins: p.NumBins,
+				Data: point{Cores: n, Seconds: chip.Time()},
+			}, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("FFBP on growing Epiphany meshes (same kernel, same data):")
 	fmt.Printf("%6s %12s %9s %11s\n", "cores", "time (ms)", "speedup", "efficiency")
 	var base float64
-	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
-		params := sarmany.EpiphanyE16G3()
-		if n > 16 {
-			params = sarmany.EpiphanyE64()
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		chip := sarmany.NewEpiphany(params)
-		if _, _, err := sarmany.EpiphanyFFBP(chip, n, data, p, box); err != nil {
+		pt, err := decodePoint(r)
+		if err != nil {
 			log.Fatal(err)
 		}
-		t := chip.Time()
 		if base == 0 {
-			base = t
+			base = pt.Seconds
 		}
-		sp := base / t
-		eff := sp / float64(n)
+		sp := base / pt.Seconds
+		eff := sp / float64(pt.Cores)
 		fmt.Printf("%6d %12.2f %9.2f %10.0f%% %s\n",
-			n, t*1e3, sp, 100*eff, strings.Repeat("#", int(sp)))
+			pt.Cores, pt.Seconds*1e3, sp, 100*eff, strings.Repeat("#", int(sp)))
 	}
 	fmt.Println("\nSpeedup saturates once the shared off-chip channel is the")
 	fmt.Println("bottleneck: FFBP reads its contributing subaperture data from")
 	fmt.Println("SDRAM in every late merge iteration (paper Sec. VI).")
+}
+
+// decodePoint unwraps a result's payload, which is the concrete point
+// for a fresh run and raw JSON when replayed from the cache.
+func decodePoint(r sarmany.SweepJobResult) (point, error) {
+	switch v := r.Result.Data.(type) {
+	case point:
+		return v, nil
+	case json.RawMessage:
+		var pt point
+		err := json.Unmarshal(v, &pt)
+		return pt, err
+	}
+	return point{}, fmt.Errorf("unexpected payload %T", r.Result.Data)
 }

@@ -2,9 +2,17 @@
 // the top-level benchmark suite: each function reruns one paper artifact
 // (Table I, Fig. 7, or one of the DESIGN.md ablations) and writes a
 // human-readable result table.
+//
+// Every Run* entry point takes a context.Context and checks it between
+// simulation units (machine runs, sweep points), so a sweep-engine
+// timeout or cancellation stops an experiment at the next boundary
+// instead of running unbounded. The Compute/PrintResult pair separates
+// computing a machine-readable Result envelope from rendering it, which
+// is what lets internal/sweep cache envelopes and replay them.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,8 +37,8 @@ import (
 )
 
 // Table1 reruns the paper's Table I and the Sec. VI-A energy ratios.
-func Table1(w io.Writer, cfg report.Config) error {
-	t, err := report.RunTable1(cfg)
+func Table1(ctx context.Context, w io.Writer, cfg report.Config) error {
+	t, err := report.RunTable1(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -56,8 +64,8 @@ type Fig7Result struct {
 // pulse-compressed raw data, (b) the GBP image, (c) the FFBP image from
 // the Intel-reference implementation, and (d) the FFBP image from the
 // parallel Epiphany implementation, plus quality metrics.
-func Figure7(w io.Writer, cfg report.Config, dir string) (err error) {
-	res, imgs, err := RunFigure7(cfg)
+func Figure7(ctx context.Context, w io.Writer, cfg report.Config, dir string) (err error) {
+	res, imgs, err := RunFigure7(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -92,11 +100,14 @@ func printFig7(w io.Writer, res Fig7Result) {
 // RunFigure7 computes the Fig. 7 images and metrics without touching the
 // filesystem. The returned images are raw data, GBP, FFBP (reference CPU
 // implementation), FFBP (Epiphany implementation).
-func RunFigure7(cfg report.Config) (Fig7Result, [4]*mat.C, error) {
+func RunFigure7(ctx context.Context, cfg report.Config) (Fig7Result, [4]*mat.C, error) {
 	var out [4]*mat.C
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	out[0] = data.Clone()
 
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, out, err
+	}
 	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
 	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
 	out[1] = gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear})
@@ -104,12 +115,18 @@ func RunFigure7(cfg report.Config) (Fig7Result, [4]*mat.C, error) {
 	// The host FFBP with nearest-neighbour interpolation is arithmetically
 	// identical to the kernels the machine models run, so it stands in for
 	// the Intel image.
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, out, err
+	}
 	fi, _, err := ffbp.Image(data, cfg.Params, cfg.Box, ffbp.Config{Interp: interp.Nearest})
 	if err != nil {
 		return Fig7Result{}, out, err
 	}
 	out[2] = fi
 
+	if err := ctx.Err(); err != nil {
+		return Fig7Result{}, out, err
+	}
 	ch := emu.New(cfg.Epiphany)
 	fe, _, err := kernels.ParFFBP(ch, cfg.FFBPCores, data, cfg.Params, cfg.Box)
 	if err != nil {
@@ -138,11 +155,14 @@ type ScalingPoint struct {
 // RunScaling measures parallel FFBP execution time across core counts on
 // the (possibly enlarged) Epiphany mesh — the ablation behind the paper's
 // closing remark that 64-core devices are now available.
-func RunScaling(cfg report.Config, coreCounts []int) ([]ScalingPoint, error) {
+func RunScaling(ctx context.Context, cfg report.Config, coreCounts []int) ([]ScalingPoint, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	out := make([]ScalingPoint, 0, len(coreCounts))
 	var base float64
 	for _, n := range coreCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := cfg.Epiphany
 		for p.NumCores() < n {
 			p = p.WithMesh(p.Rows*2, p.Cols) // grow the mesh as needed
@@ -161,8 +181,8 @@ func RunScaling(cfg report.Config, coreCounts []int) ([]ScalingPoint, error) {
 }
 
 // Scaling runs RunScaling over 1..64 cores and prints the series.
-func Scaling(w io.Writer, cfg report.Config) error {
-	points, err := RunScaling(cfg, []int{1, 2, 4, 8, 16, 32, 64})
+func Scaling(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunScaling(ctx, cfg, []int{1, 2, 4, 8, 16, 32, 64})
 	if err != nil {
 		return err
 	}
@@ -189,12 +209,15 @@ type BandwidthPoint struct {
 // the streaming autofocus pipeline is insensitive to off-chip bandwidth
 // (its intermediate data never leaves the mesh), while FFBP is bound by
 // it.
-func RunBandwidth(cfg report.Config, factors []float64) ([]BandwidthPoint, error) {
+func RunBandwidth(ctx context.Context, cfg report.Config, factors []float64) ([]BandwidthPoint, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	pairs := report.AutofocusWorkload(cfg)
 	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
 	out := make([]BandwidthPoint, 0, len(factors))
 	for _, f := range factors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := cfg.Epiphany
 		p.ExtBytesPerCycle = cfg.Epiphany.ExtBytesPerCycle * f
 		chF := emu.New(p)
@@ -215,8 +238,8 @@ func RunBandwidth(cfg report.Config, factors []float64) ([]BandwidthPoint, error
 }
 
 // Bandwidth runs RunBandwidth over a 16x range and prints the series.
-func Bandwidth(w io.Writer, cfg report.Config) error {
-	points, err := RunBandwidth(cfg, []float64{0.25, 0.5, 1, 2, 4})
+func Bandwidth(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunBandwidth(ctx, cfg, []float64{0.25, 0.5, 1, 2, 4})
 	if err != nil {
 		return err
 	}
@@ -243,12 +266,15 @@ type PipelinePoint struct {
 // block-pair stream split across replicas. Because the pipeline's
 // intermediate data stays on-chip, throughput scales nearly linearly —
 // the contrast to FFBP's bandwidth-bound scaling.
-func RunPipelines(cfg report.Config, counts []int) ([]PipelinePoint, error) {
+func RunPipelines(ctx context.Context, cfg report.Config, counts []int) ([]PipelinePoint, error) {
 	pairs := report.AutofocusWorkload(cfg)
 	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
 	var out []PipelinePoint
 	var base float64
 	for _, n := range counts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ch := emu.New(emu.E64())
 		if _, err := kernels.ParAutofocusMulti(ch, n, pairs, shifts); err != nil {
 			return nil, err
@@ -263,8 +289,8 @@ func RunPipelines(cfg report.Config, counts []int) ([]PipelinePoint, error) {
 }
 
 // Pipelines runs RunPipelines over 1..4 replicas and prints the series.
-func Pipelines(w io.Writer, cfg report.Config) error {
-	points, err := RunPipelines(cfg, []int{1, 2, 3, 4})
+func Pipelines(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunPipelines(ctx, cfg, []int{1, 2, 3, 4})
 	if err != nil {
 		return err
 	}
@@ -282,14 +308,20 @@ func printPipelines(w io.Writer, points []PipelinePoint) {
 // RunGBPvsFFBP compares the modeled times of exact GBP and FFBP on the
 // reference CPU over dense data — the complexity gap that motivates the
 // factorized algorithm. It returns (gbpSeconds, ffbpSeconds).
-func RunGBPvsFFBP(cfg report.Config) (float64, float64, error) {
+func RunGBPvsFFBP(ctx context.Context, cfg report.Config) (float64, float64, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	sar.AddNoise(data, 0.05, 11) // dense scene: no zero-skip shortcut
 	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
 	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
 
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	cpuG := refcpu.New(cfg.Intel)
 	if _, err := kernels.SeqGBP(cpuG, cpuG.Mem(), data, cfg.Params, grid); err != nil {
+		return 0, 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
 	cpuF := refcpu.New(cfg.Intel)
@@ -300,8 +332,8 @@ func RunGBPvsFFBP(cfg report.Config) (float64, float64, error) {
 }
 
 // GBPvsFFBP runs RunGBPvsFFBP and prints the comparison.
-func GBPvsFFBP(w io.Writer, cfg report.Config) error {
-	g, f, err := RunGBPvsFFBP(cfg)
+func GBPvsFFBP(ctx context.Context, w io.Writer, cfg report.Config) error {
+	g, f, err := RunGBPvsFFBP(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -328,13 +360,16 @@ type BasePoint struct {
 // so the simplified interpolation's noise accumulates less — at the price
 // of more child lookups per level. Requires cfg.Params.NumPulses to be a
 // power of every base given.
-func RunBases(cfg report.Config, bases []int) ([]BasePoint, error) {
+func RunBases(ctx context.Context, cfg report.Config, bases []int) ([]BasePoint, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
 	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
 	ref := quality.Mag(gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear}))
 	var out []BasePoint
 	for _, k := range bases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		img, _, err := ffbp.ImageK(data, cfg.Params, cfg.Box, ffbp.Config{Interp: interp.Nearest}, k)
 		if err != nil {
@@ -357,8 +392,8 @@ func RunBases(cfg report.Config, bases []int) ([]BasePoint, error) {
 }
 
 // Bases runs RunBases over bases 2 and 4 and prints the series.
-func Bases(w io.Writer, cfg report.Config) error {
-	points, err := RunBases(cfg, []int{2, 4})
+func Bases(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunBases(ctx, cfg, []int{2, 4})
 	if err != nil {
 		return err
 	}
@@ -390,7 +425,7 @@ type MotivationResult struct {
 // aperture, a cross-track step of ~lambda/10): large enough to visibly
 // decorrelate the straight-track reference, still within the autofocus
 // compensation window.
-func RunMotivation(cfg report.Config) (MotivationResult, error) {
+func RunMotivation(ctx context.Context, cfg report.Config) (MotivationResult, error) {
 	p := cfg.Params
 	p.NumPulses = 256
 	p.NumBins = 241
@@ -433,25 +468,22 @@ func RunMotivation(cfg report.Config) (MotivationResult, error) {
 	}
 	dirty := sar.Simulate(p, []sar.Target{tg}, drift)
 
-	rdaClean, err := gainRDA(clean)
-	if err != nil {
-		return MotivationResult{}, err
-	}
-	ffbpClean, err := gainFFBP(clean, false)
-	if err != nil {
-		return MotivationResult{}, err
-	}
-	rdaDirty, err := gainRDA(dirty)
-	if err != nil {
-		return MotivationResult{}, err
-	}
-	focDirty, err := gainFFBP(dirty, true)
-	if err != nil {
-		return MotivationResult{}, err
-	}
-	mocDirty, err := gainRDA(sar.MotionCompensate(dirty, p, drift))
-	if err != nil {
-		return MotivationResult{}, err
+	steps := []func() error{}
+	var rdaClean, ffbpClean, rdaDirty, focDirty, mocDirty float64
+	steps = append(steps,
+		func() (err error) { rdaClean, err = gainRDA(clean); return },
+		func() (err error) { ffbpClean, err = gainFFBP(clean, false); return },
+		func() (err error) { rdaDirty, err = gainRDA(dirty); return },
+		func() (err error) { focDirty, err = gainFFBP(dirty, true); return },
+		func() (err error) { mocDirty, err = gainRDA(sar.MotionCompensate(dirty, p, drift)); return },
+	)
+	for _, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return MotivationResult{}, err
+		}
+		if err := step(); err != nil {
+			return MotivationResult{}, err
+		}
 	}
 	return MotivationResult{
 		RDAKept:         rdaDirty / rdaClean,
@@ -461,8 +493,8 @@ func RunMotivation(cfg report.Config) (MotivationResult, error) {
 }
 
 // Motivation runs RunMotivation and prints the comparison.
-func Motivation(w io.Writer, cfg report.Config) error {
-	r, err := RunMotivation(cfg)
+func Motivation(ctx context.Context, w io.Writer, cfg report.Config) error {
+	r, err := RunMotivation(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -489,13 +521,16 @@ type InterpPoint struct {
 // each interpolation kernel — quantifying the paper's note that FFBP
 // quality "could be considerably improved by using more complex
 // interpolation kernels such as cubic interpolation".
-func RunInterp(cfg report.Config) ([]InterpPoint, error) {
+func RunInterp(ctx context.Context, cfg report.Config) ([]InterpPoint, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	full := geom.Aperture{Center: 0, Length: cfg.Params.ApertureLength()}
 	grid := cfg.Box.GridFor(full, cfg.Params.NumPulses, cfg.Params.NumBins, cfg.Params.R0, cfg.Params.DR)
 	ref := quality.Mag(gbp.Image(data, cfg.Params, grid, gbp.Config{Interp: interp.Linear}))
 	var out []InterpPoint
 	for _, k := range []interp.Kind{interp.Nearest, interp.Linear, interp.Cubic, interp.Sinc8} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		img, _, err := ffbp.Image(data, cfg.Params, cfg.Box, ffbp.Config{Interp: k})
 		if err != nil {
 			return nil, err
@@ -522,11 +557,14 @@ type UpsamplePoint struct {
 // oversampling factor — the standard countermeasure (used by the related
 // Lidberg et al. implementation) to the interpolation noise the paper
 // discusses, bought with proportionally more memory and bandwidth.
-func RunUpsample(cfg report.Config, factors []int) ([]UpsamplePoint, error) {
+func RunUpsample(ctx context.Context, cfg report.Config, factors []int) ([]UpsamplePoint, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	var out []UpsamplePoint
 	var base float64
 	for _, f := range factors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		up, q, err := sar.UpsampleRange(data, cfg.Params, f)
 		if err != nil {
 			return nil, err
@@ -550,8 +588,8 @@ func RunUpsample(cfg report.Config, factors []int) ([]UpsamplePoint, error) {
 }
 
 // Upsample runs RunUpsample over factors 1, 2, 4 and prints the series.
-func Upsample(w io.Writer, cfg report.Config) error {
-	points, err := RunUpsample(cfg, []int{1, 2, 4})
+func Upsample(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunUpsample(ctx, cfg, []int{1, 2, 4})
 	if err != nil {
 		return err
 	}
@@ -567,8 +605,8 @@ func printUpsample(w io.Writer, points []UpsamplePoint) {
 }
 
 // Interp runs RunInterp and prints the series.
-func Interp(w io.Writer, cfg report.Config) error {
-	points, err := RunInterp(cfg)
+func Interp(ctx context.Context, w io.Writer, cfg report.Config) error {
+	points, err := RunInterp(ctx, cfg)
 	if err != nil {
 		return err
 	}

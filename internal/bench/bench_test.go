@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func TestTable1Writes(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf, report.Small()); err != nil {
+	if err := Table1(context.Background(), &buf, report.Small()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "FFBP Implementations") {
@@ -21,7 +22,7 @@ func TestTable1Writes(t *testing.T) {
 }
 
 func TestRunFigure7Relations(t *testing.T) {
-	res, imgs, err := RunFigure7(report.Small())
+	res, imgs, err := RunFigure7(context.Background(), report.Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRunFigure7Relations(t *testing.T) {
 func TestFigure7WritesFiles(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := Figure7(&buf, report.Small(), dir); err != nil {
+	if err := Figure7(context.Background(), &buf, report.Small(), dir); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"sharpness", "correlation"} {
@@ -57,7 +58,7 @@ func TestFigure7WritesFiles(t *testing.T) {
 }
 
 func TestRunScalingMonotone(t *testing.T) {
-	pts, err := RunScaling(report.Small(), []int{1, 4, 16})
+	pts, err := RunScaling(context.Background(), report.Small(), []int{1, 4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRunScalingMonotone(t *testing.T) {
 }
 
 func TestRunScalingGrowsMesh(t *testing.T) {
-	pts, err := RunScaling(report.Small(), []int{64})
+	pts, err := RunScaling(context.Background(), report.Small(), []int{64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunScalingGrowsMesh(t *testing.T) {
 }
 
 func TestRunBandwidthShape(t *testing.T) {
-	pts, err := RunBandwidth(report.Small(), []float64{0.25, 4})
+	pts, err := RunBandwidth(context.Background(), report.Small(), []float64{0.25, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRunBandwidthShape(t *testing.T) {
 }
 
 func TestRunInterpOrdering(t *testing.T) {
-	pts, err := RunInterp(report.Small())
+	pts, err := RunInterp(context.Background(), report.Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestRunInterpOrdering(t *testing.T) {
 }
 
 func TestRunPipelinesScales(t *testing.T) {
-	pts, err := RunPipelines(report.Small(), []int{1, 4})
+	pts, err := RunPipelines(context.Background(), report.Small(), []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestRunPipelinesScales(t *testing.T) {
 }
 
 func TestRunGBPvsFFBP(t *testing.T) {
-	g, f, err := RunGBPvsFFBP(report.Small())
+	g, f, err := RunGBPvsFFBP(context.Background(), report.Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRunGBPvsFFBP(t *testing.T) {
 }
 
 func TestRunBases(t *testing.T) {
-	pts, err := RunBases(report.Small(), []int{2, 4}) // 128 = 2^7... not a power of 4!
+	pts, err := RunBases(context.Background(), report.Small(), []int{2, 4}) // 128 = 2^7... not a power of 4!
 	if err == nil {
 		// 128 is not a power of 4, so this must fail — unless the small
 		// config changes; guard both ways.
@@ -161,7 +162,7 @@ func TestRunBases(t *testing.T) {
 	cfg := report.Small()
 	cfg.Params.NumPulses = 256
 	cfg.Box = report.DefaultBox(cfg.Params)
-	pts, err = RunBases(cfg, []int{2, 4})
+	pts, err = RunBases(context.Background(), cfg, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRunMotivationShape(t *testing.T) {
 	cfg.Params.R0 = 500
 	cfg.Box = report.DefaultBox(cfg.Params)
 	cfg.Targets = []sar.Target{{U: 0, Y: cfg.Params.CenterRange(), Amp: 1}}
-	r, err := RunMotivation(cfg)
+	r, err := RunMotivation(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,35 +199,35 @@ func TestRunMotivationShape(t *testing.T) {
 func TestTextDrivers(t *testing.T) {
 	cfg := report.Small()
 	var buf bytes.Buffer
-	if err := Scaling(&buf, cfg); err != nil {
+	if err := Scaling(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "cores") {
 		t.Error("Scaling output missing header")
 	}
 	buf.Reset()
-	if err := Bandwidth(&buf, cfg); err != nil {
+	if err := Bandwidth(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "bytes/cycle") {
 		t.Error("Bandwidth output missing header")
 	}
 	buf.Reset()
-	if err := Interp(&buf, cfg); err != nil {
+	if err := Interp(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "kernel") {
 		t.Error("Interp output missing header")
 	}
 	buf.Reset()
-	if err := Pipelines(&buf, cfg); err != nil {
+	if err := Pipelines(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "pipelines") {
 		t.Error("Pipelines output missing header")
 	}
 	buf.Reset()
-	if err := GBPvsFFBP(&buf, cfg); err != nil {
+	if err := GBPvsFFBP(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "faster") {

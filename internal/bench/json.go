@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,7 +14,9 @@ import (
 // Result is the machine-readable envelope around one experiment's data,
 // written as BENCH_<name>.json next to the human-readable table. Data
 // holds the experiment's point slice or result struct (every point type
-// in this package carries JSON tags).
+// in this package carries JSON tags); after a round trip through
+// Marshal/ReadResult it is a json.RawMessage instead, which DecodeData
+// turns back into the concrete type.
 type Result struct {
 	Name  string `json:"name"`
 	Title string `json:"title,omitempty"`
@@ -37,24 +40,39 @@ type RawResult struct {
 // Filename returns the canonical result file name for an experiment.
 func Filename(name string) string { return "BENCH_" + name + ".json" }
 
+// Marshal renders the envelope in the canonical on-disk form (indented
+// JSON, trailing newline) — the exact bytes WriteFile stores and the
+// sweep cache replays, so a cached result is byte-identical to a fresh
+// one.
+func Marshal(r Result) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // WriteFile writes r as indented JSON to dir/BENCH_<r.Name>.json and
 // returns the path.
 func WriteFile(dir string, r Result) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
-	path := filepath.Join(dir, Filename(r.Name))
-	f, err := os.Create(path)
+	b, err := Marshal(r)
 	if err != nil {
 		return "", err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
-		f.Close()
+	return WriteFileRaw(dir, r.Name, b)
+}
+
+// WriteFileRaw writes pre-marshaled envelope bytes (as produced by
+// Marshal or replayed from the sweep cache) to dir/BENCH_<name>.json.
+func WriteFileRaw(dir, name string, b []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	return path, f.Close()
+	path := filepath.Join(dir, Filename(name))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // ReadResult reads an envelope written by WriteFile.
@@ -74,97 +92,206 @@ type GBPFFBPResult struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// Experiment runs the experiment selected by key (the cmd/benchtab -exp
-// names), prints its human-readable table to w and, when jsonDir is
-// non-empty, also writes the machine-readable envelope to
-// jsonDir/BENCH_<name>.json. Each experiment computes exactly once;
-// imgDir receives the fig7 image set.
-func Experiment(key string, w io.Writer, cfg report.Config, jsonDir, imgDir string) error {
+// Keys lists the experiment selector keys Compute accepts, in the
+// canonical "-exp all" order.
+func Keys() []string {
+	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample"}
+}
+
+// Compute runs the experiment selected by key (the cmd/benchtab -exp
+// names) and returns its machine-readable envelope without printing
+// anything. The single filesystem side effect is the Fig. 7 image set,
+// written into imgDir when key is "fig7" and imgDir is non-empty. The
+// context is threaded into the experiment and checked between simulation
+// units.
+func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) (Result, error) {
 	var res Result
 	switch key {
 	case "t1":
-		t, err := report.RunTable1(cfg)
+		t, err := report.RunTable1(ctx, cfg)
 		if err != nil {
-			return err
+			return res, err
 		}
-		io.WriteString(w, t.String())
 		res = Result{Name: "table1", Title: "Table I and energy ratios", Data: t}
 	case "fig7":
-		r, imgs, err := RunFigure7(cfg)
+		r, imgs, err := RunFigure7(ctx, cfg)
 		if err != nil {
-			return err
+			return res, err
 		}
-		if err := saveFig7(imgs, imgDir); err != nil {
-			return err
+		if imgDir != "" {
+			if err := saveFig7(imgs, imgDir); err != nil {
+				return res, err
+			}
 		}
-		fmt.Fprintf(w, "wrote %s\n", imgDir)
-		printFig7(w, r)
 		res = Result{Name: "fig7", Title: "Figure 7 quality metrics", Data: r}
 	case "scaling":
-		pts, err := RunScaling(cfg, []int{1, 2, 4, 8, 16, 32, 64})
+		pts, err := RunScaling(ctx, cfg, []int{1, 2, 4, 8, 16, 32, 64})
 		if err != nil {
-			return err
+			return res, err
 		}
-		printScaling(w, pts)
 		res = Result{Name: "scaling", Title: "FFBP speedup vs core count", Data: pts}
 	case "bw":
-		pts, err := RunBandwidth(cfg, []float64{0.25, 0.5, 1, 2, 4})
+		pts, err := RunBandwidth(ctx, cfg, []float64{0.25, 0.5, 1, 2, 4})
 		if err != nil {
-			return err
+			return res, err
 		}
-		printBandwidth(w, pts)
 		res = Result{Name: "bandwidth", Title: "Off-chip bandwidth sweep", Data: pts}
 	case "interp":
-		pts, err := RunInterp(cfg)
+		pts, err := RunInterp(ctx, cfg)
 		if err != nil {
-			return err
+			return res, err
 		}
-		printInterp(w, pts)
 		res = Result{Name: "interp", Title: "FFBP quality vs interpolation kernel", Data: pts}
 	case "pipes":
-		pts, err := RunPipelines(cfg, []int{1, 2, 3, 4})
+		pts, err := RunPipelines(ctx, cfg, []int{1, 2, 3, 4})
 		if err != nil {
-			return err
+			return res, err
 		}
-		printPipelines(w, pts)
 		res = Result{Name: "pipelines", Title: "Autofocus pipeline replication", Data: pts}
 	case "gbp":
-		g, f, err := RunGBPvsFFBP(cfg)
+		g, f, err := RunGBPvsFFBP(ctx, cfg)
 		if err != nil {
-			return err
+			return res, err
 		}
-		printGBPvsFFBP(w, g, f)
 		res = Result{Name: "gbp_vs_ffbp", Title: "GBP vs FFBP complexity",
 			Data: GBPFFBPResult{GBPSeconds: g, FFBPSeconds: f, Speedup: g / f}}
 	case "base":
-		pts, err := RunBases(cfg, []int{2, 4})
+		pts, err := RunBases(ctx, cfg, []int{2, 4})
 		if err != nil {
-			return err
+			return res, err
 		}
-		printBases(w, pts)
 		res = Result{Name: "bases", Title: "Factorization base ablation", Data: pts}
 	case "rda":
-		r, err := RunMotivation(cfg)
+		r, err := RunMotivation(ctx, cfg)
 		if err != nil {
-			return err
+			return res, err
 		}
-		printMotivation(w, r)
 		res = Result{Name: "motivation", Title: "Frequency vs time domain", Data: r}
 	case "upsample":
-		pts, err := RunUpsample(cfg, []int{1, 2, 4})
+		pts, err := RunUpsample(ctx, cfg, []int{1, 2, 4})
+		if err != nil {
+			return res, err
+		}
+		res = Result{Name: "upsample", Title: "Range oversampling ablation", Data: pts}
+	default:
+		return res, fmt.Errorf("unknown experiment %q", key)
+	}
+	res.Pulses = cfg.Params.NumPulses
+	res.Bins = cfg.Params.NumBins
+	return res, nil
+}
+
+// DecodeData converts a raw envelope payload (as read back from a
+// BENCH_<name>.json file or the sweep cache) into the concrete data type
+// Compute produces for that envelope name.
+func DecodeData(name string, raw json.RawMessage) (any, error) {
+	decode := func(v any) (any, error) {
+		if err := json.Unmarshal(raw, v); err != nil {
+			return nil, fmt.Errorf("decode %s envelope: %w", name, err)
+		}
+		return v, nil
+	}
+	switch name {
+	case "table1":
+		return decode(&report.Table1{})
+	case "fig7":
+		return decode(&Fig7Result{})
+	case "scaling":
+		return decode(&[]ScalingPoint{})
+	case "bandwidth":
+		return decode(&[]BandwidthPoint{})
+	case "interp":
+		return decode(&[]InterpPoint{})
+	case "pipelines":
+		return decode(&[]PipelinePoint{})
+	case "gbp_vs_ffbp":
+		return decode(&GBPFFBPResult{})
+	case "bases":
+		return decode(&[]BasePoint{})
+	case "motivation":
+		return decode(&MotivationResult{})
+	case "upsample":
+		return decode(&[]UpsamplePoint{})
+	}
+	return nil, fmt.Errorf("unknown envelope name %q", name)
+}
+
+// PrintResult renders the envelope's human-readable table to w. It
+// accepts both freshly computed envelopes (Data holds the concrete type)
+// and replayed ones (Data is a json.RawMessage from the sweep cache or a
+// result file).
+func PrintResult(w io.Writer, res Result) error {
+	if raw, ok := res.Data.(json.RawMessage); ok {
+		v, err := DecodeData(res.Name, raw)
 		if err != nil {
 			return err
 		}
-		printUpsample(w, pts)
-		res = Result{Name: "upsample", Title: "Range oversampling ablation", Data: pts}
+		res.Data = v
+	}
+	switch v := res.Data.(type) {
+	case *report.Table1:
+		_, err := io.WriteString(w, v.String())
+		return err
+	case Fig7Result:
+		printFig7(w, v)
+	case *Fig7Result:
+		printFig7(w, *v)
+	case []ScalingPoint:
+		printScaling(w, v)
+	case *[]ScalingPoint:
+		printScaling(w, *v)
+	case []BandwidthPoint:
+		printBandwidth(w, v)
+	case *[]BandwidthPoint:
+		printBandwidth(w, *v)
+	case []InterpPoint:
+		printInterp(w, v)
+	case *[]InterpPoint:
+		printInterp(w, *v)
+	case []PipelinePoint:
+		printPipelines(w, v)
+	case *[]PipelinePoint:
+		printPipelines(w, *v)
+	case GBPFFBPResult:
+		printGBPvsFFBP(w, v.GBPSeconds, v.FFBPSeconds)
+	case *GBPFFBPResult:
+		printGBPvsFFBP(w, v.GBPSeconds, v.FFBPSeconds)
+	case []BasePoint:
+		printBases(w, v)
+	case *[]BasePoint:
+		printBases(w, *v)
+	case MotivationResult:
+		printMotivation(w, v)
+	case *MotivationResult:
+		printMotivation(w, *v)
+	case []UpsamplePoint:
+		printUpsample(w, v)
+	case *[]UpsamplePoint:
+		printUpsample(w, *v)
 	default:
-		return fmt.Errorf("unknown experiment %q", key)
+		return fmt.Errorf("print %s envelope: unhandled data type %T", res.Name, res.Data)
+	}
+	return nil
+}
+
+// Experiment runs the experiment selected by key, prints its
+// human-readable table to w and, when jsonDir is non-empty, also writes
+// the machine-readable envelope to jsonDir/BENCH_<name>.json. Each
+// experiment computes exactly once; imgDir receives the fig7 image set.
+func Experiment(ctx context.Context, key string, w io.Writer, cfg report.Config, jsonDir, imgDir string) error {
+	res, err := Compute(ctx, key, cfg, imgDir)
+	if err != nil {
+		return err
+	}
+	if key == "fig7" && imgDir != "" {
+		fmt.Fprintf(w, "wrote %s\n", imgDir)
+	}
+	if err := PrintResult(w, res); err != nil {
+		return err
 	}
 	if jsonDir == "" {
 		return nil
 	}
-	res.Pulses = cfg.Params.NumPulses
-	res.Bins = cfg.Params.NumBins
 	path, err := WriteFile(jsonDir, res)
 	if err != nil {
 		return err

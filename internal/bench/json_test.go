@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"path/filepath"
@@ -49,7 +50,7 @@ func TestResultRoundTrip(t *testing.T) {
 }
 
 func TestExperimentUnknownKey(t *testing.T) {
-	if err := Experiment("nope", io.Discard, report.Small(), "", ""); err == nil {
+	if err := Experiment(context.Background(), "nope", io.Discard, report.Small(), "", ""); err == nil {
 		t.Error("no error for unknown experiment key")
 	}
 }

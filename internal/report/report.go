@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -122,14 +123,20 @@ type Table1 struct {
 }
 
 // RunTable1 executes all six implementations of Table I on freshly
-// constructed machine models and returns the measured table.
-func RunTable1(cfg Config) (*Table1, error) {
+// constructed machine models and returns the measured table. The context
+// is checked between the six machine runs: cancellation (or a deadline
+// set by a sweep-engine timeout) stops the experiment at the next
+// simulation boundary.
+func RunTable1(ctx context.Context, cfg Config) (*Table1, error) {
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	imgPixels := float64(cfg.Params.NumPulses * cfg.Params.NumBins)
 
 	var t Table1
 
 	// FFBP sequential on the Intel reference.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cpu := refcpu.New(cfg.Intel)
 	if _, _, err := kernels.SeqFFBP(cpu, cpu.Mem(), data, cfg.Params, cfg.Box); err != nil {
 		return nil, fmt.Errorf("ffbp seq intel: %w", err)
@@ -139,6 +146,9 @@ func RunTable1(cfg Config) (*Table1, error) {
 		PowerW: cfg.Intel.SingleCorePowerWatts}
 
 	// FFBP sequential on one Epiphany core.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chSeq := emu.New(cfg.Epiphany)
 	if _, _, err := kernels.SeqFFBP(chSeq.Cores[0], chSeq.Ext(), data, cfg.Params, cfg.Box); err != nil {
 		return nil, fmt.Errorf("ffbp seq epiphany: %w", err)
@@ -148,6 +158,9 @@ func RunTable1(cfg Config) (*Table1, error) {
 		Seconds: sec, PixPerSec: imgPixels / sec, PowerW: cfg.Epiphany.MaxPowerWatts}
 
 	// FFBP parallel on the Epiphany chip.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chPar := emu.New(cfg.Epiphany)
 	if _, _, err := kernels.ParFFBP(chPar, cfg.FFBPCores, data, cfg.Params, cfg.Box); err != nil {
 		return nil, fmt.Errorf("ffbp par epiphany: %w", err)
@@ -162,6 +175,9 @@ func RunTable1(cfg Config) (*Table1, error) {
 	shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
 	afPixels := float64(len(pairs) * len(shifts) * autofocus.PixelsProcessed())
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cpu2 := refcpu.New(cfg.Intel)
 	if _, err := kernels.SeqAutofocus(cpu2, cpu2.Mem(), pairs, shifts); err != nil {
 		return nil, fmt.Errorf("autofocus seq intel: %w", err)
@@ -170,6 +186,9 @@ func RunTable1(cfg Config) (*Table1, error) {
 		Seconds: cpu2.Seconds(), PixPerSec: afPixels / cpu2.Seconds(),
 		PowerW: cfg.Intel.SingleCorePowerWatts}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chSeqA := emu.New(cfg.Epiphany)
 	if _, err := kernels.SeqAutofocus(chSeqA.Cores[0], chSeqA.Ext(), pairs, shifts); err != nil {
 		return nil, fmt.Errorf("autofocus seq epiphany: %w", err)
@@ -178,6 +197,9 @@ func RunTable1(cfg Config) (*Table1, error) {
 	t.Autofocus[1] = Row{Impl: "Sequential on Epiphany", Cores: 1,
 		Seconds: secA, PixPerSec: afPixels / secA, PowerW: cfg.Epiphany.MaxPowerWatts}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chParA := emu.New(cfg.Epiphany)
 	if _, err := kernels.ParAutofocus(chParA, pairs, shifts); err != nil {
 		return nil, fmt.Errorf("autofocus par epiphany: %w", err)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestDefaultBoxContainsSixTargets(t *testing.T) {
 }
 
 func TestTable1SmallShape(t *testing.T) {
-	tab, err := RunTable1(Small())
+	tab, err := RunTable1(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestTable1SmallShape(t *testing.T) {
 }
 
 func TestTable1Deterministic(t *testing.T) {
-	a, err := RunTable1(Small())
+	a, err := RunTable1(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunTable1(Small())
+	b, err := RunTable1(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestTable1PaperShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale run skipped in -short mode")
 	}
-	tab, err := RunTable1(Default())
+	tab, err := RunTable1(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestTable1PaperShape(t *testing.T) {
 }
 
 func TestTable1String(t *testing.T) {
-	tab, err := RunTable1(Small())
+	tab, err := RunTable1(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package sar
+
+import (
+	"runtime"
+	"sync"
+
+	"sarmany/internal/mat"
+)
+
+// SimulatePar is Simulate with the per-pulse synthesis fanned out across
+// a bounded pool of workers (<= 0 means runtime.GOMAXPROCS(0)). Pulses
+// are independent rows, so the output is bit-identical to Simulate for
+// any worker count — cmd/sarsim's -j flag relies on that.
+func SimulatePar(p Params, targets []Target, pathErr PathError, workers int) *mat.C {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	data := mat.NewC(p.NumPulses, p.NumBins)
+	parallelRows(p.NumPulses, workers, func(i int) {
+		simulatePulse(data, p, i, targets, pathErr)
+	})
+	return data
+}
+
+// SimulateRawPar is SimulateRaw with the per-pulse synthesis fanned out
+// across workers; the output is bit-identical to SimulateRaw.
+func SimulateRawPar(p Params, ch Chirp, targets []Target, pathErr PathError, workers int) *mat.C {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	ref := ch.Reference()
+	raw := mat.NewC(p.NumPulses, p.NumBins+ch.Samples-1)
+	parallelRows(p.NumPulses, workers, func(i int) {
+		simulateRawPulse(raw, p, ref, i, targets, pathErr)
+	})
+	return raw
+}
+
+// parallelRows runs fn(i) for i in [0, n) across a bounded worker pool.
+// Each worker takes a contiguous chunk of rows; rows touch disjoint
+// memory, so no synchronization beyond the final join is needed.
+func parallelRows(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

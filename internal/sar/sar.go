@@ -173,32 +173,39 @@ func Simulate(p Params, targets []Target, pathErr PathError) *mat.C {
 		panic(err)
 	}
 	data := mat.NewC(p.NumPulses, p.NumBins)
-	k := 4 * math.Pi / p.Wavelength
 	for i := 0; i < p.NumPulses; i++ {
-		u := p.TrackPos(i)
-		row := data.Row(i)
-		for _, t := range targets {
-			r := Range(u, pathErr, t)
-			phase := cf.Scale(t.Amp, cf.Expi(float32(-k*r)))
-			c0 := int(math.Ceil((r - float64(p.EnvelopeHalfWidth)*p.DR - p.R0) / p.DR))
-			c1 := int(math.Floor((r + float64(p.EnvelopeHalfWidth)*p.DR - p.R0) / p.DR))
-			if c0 < 0 {
-				c0 = 0
-			}
-			if c1 > p.NumBins-1 {
-				c1 = p.NumBins - 1
-			}
-			for c := c0; c <= c1; c++ {
-				d := p.R0 + float64(c)*p.DR - r
-				e := float32(p.envelope(d))
-				if e == 0 {
-					continue
-				}
-				row[c] += cf.Scale(e, phase)
-			}
-		}
+		simulatePulse(data, p, i, targets, pathErr)
 	}
 	return data
+}
+
+// simulatePulse synthesizes the compressed range profile of pulse i into
+// its row of data. Rows are independent, which is what SimulatePar
+// exploits.
+func simulatePulse(data *mat.C, p Params, i int, targets []Target, pathErr PathError) {
+	k := 4 * math.Pi / p.Wavelength
+	u := p.TrackPos(i)
+	row := data.Row(i)
+	for _, t := range targets {
+		r := Range(u, pathErr, t)
+		phase := cf.Scale(t.Amp, cf.Expi(float32(-k*r)))
+		c0 := int(math.Ceil((r - float64(p.EnvelopeHalfWidth)*p.DR - p.R0) / p.DR))
+		c1 := int(math.Floor((r + float64(p.EnvelopeHalfWidth)*p.DR - p.R0) / p.DR))
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c1 > p.NumBins-1 {
+			c1 = p.NumBins - 1
+		}
+		for c := c0; c <= c1; c++ {
+			d := p.R0 + float64(c)*p.DR - r
+			e := float32(p.envelope(d))
+			if e == 0 {
+				continue
+			}
+			row[c] += cf.Scale(e, phase)
+		}
+	}
 }
 
 // Chirp describes the transmitted linear-FM pulse for the explicit
@@ -246,26 +253,33 @@ func SimulateRaw(p Params, ch Chirp, targets []Target, pathErr PathError) *mat.C
 	}
 	ref := ch.Reference()
 	raw := mat.NewC(p.NumPulses, p.NumBins+ch.Samples-1)
-	k := 4 * math.Pi / p.Wavelength
 	for i := 0; i < p.NumPulses; i++ {
-		u := p.TrackPos(i)
-		row := raw.Row(i)
-		for _, t := range targets {
-			r := Range(u, pathErr, t)
-			// The chirp centre lands at fractional bin position of range r.
-			pos := (r - p.R0) / p.DR
-			start := int(math.Round(pos)) // start sample of the echo copy
-			phase := cf.Scale(t.Amp, cf.Expi(float32(-k*r)))
-			for j, rv := range ref {
-				idx := start + j
-				if idx < 0 || idx >= len(row) {
-					continue
-				}
-				row[idx] += phase * rv
-			}
-		}
+		simulateRawPulse(raw, p, ref, i, targets, pathErr)
 	}
 	return raw
+}
+
+// simulateRawPulse synthesizes the raw chirp echoes of pulse i into its
+// row of raw. Rows are independent, which is what SimulateRawPar
+// exploits.
+func simulateRawPulse(raw *mat.C, p Params, ref []complex64, i int, targets []Target, pathErr PathError) {
+	k := 4 * math.Pi / p.Wavelength
+	u := p.TrackPos(i)
+	row := raw.Row(i)
+	for _, t := range targets {
+		r := Range(u, pathErr, t)
+		// The chirp centre lands at fractional bin position of range r.
+		pos := (r - p.R0) / p.DR
+		start := int(math.Round(pos)) // start sample of the echo copy
+		phase := cf.Scale(t.Amp, cf.Expi(float32(-k*r)))
+		for j, rv := range ref {
+			idx := start + j
+			if idx < 0 || idx >= len(row) {
+				continue
+			}
+			row[idx] += phase * rv
+		}
+	}
 }
 
 // Compress matched-filters each row of raw against the chirp replica,

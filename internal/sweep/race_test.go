@@ -1,0 +1,7 @@
+//go:build race
+
+package sweep
+
+// raceEnabled records in the throughput envelope whether the run paid
+// the race detector's overhead (make sweepbench always does).
+const raceEnabled = true

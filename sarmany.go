@@ -1,32 +1,10 @@
-// Package sarmany is a library for energy-efficient synthetic-aperture
-// radar (SAR) processing on manycore architectures, reproducing
-// Zain-ul-Abdin, Åhlander and Svensson, "Energy-Efficient
-// Synthetic-Aperture Radar Processing on a Manycore Architecture"
-// (ICPP 2013).
-//
-// It provides, end to end:
-//
-//   - a stripmap SAR front end: scene/platform modelling, point-target
-//     raw-echo synthesis, LFM chirp generation and pulse compression
-//     ([Simulate], [SimulateRaw], [Compress]);
-//   - time-domain image formation: exact global back-projection ([GBP])
-//     and the fast factorized back-projection of the paper's
-//     memory-intensive case study ([FFBP]), with selectable interpolation
-//     kernels;
-//   - the autofocus criterion calculation of the paper's compute-intensive
-//     case study ([Criterion], [SearchCompensation]);
-//   - cycle-accounting models of the two machines the paper compares — a
-//     16-core Adapteva Epiphany ([NewEpiphany]) and a sequential Intel
-//     Core i7 reference ([NewReferenceCPU]) — plus the paper's kernels
-//     mapped onto them ([EpiphanyFFBP], [EpiphanyAutofocus], ...);
-//   - the evaluation harness that regenerates the paper's Table I,
-//     Fig. 7, and energy-efficiency results ([RunTable1], [RunFigure7]).
-//
-// See the examples/ directory for runnable walkthroughs and DESIGN.md for
-// the system inventory and experiment index.
+// This file is the facade: type aliases and thin wrappers over the
+// internal packages. The package doc comment lives in doc.go.
 package sarmany
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 
 	"sarmany/internal/autofocus"
@@ -41,12 +19,14 @@ import (
 	"sarmany/internal/interp"
 	"sarmany/internal/kernels"
 	"sarmany/internal/mat"
+	"sarmany/internal/obs"
 	"sarmany/internal/quality"
 	"sarmany/internal/rda"
 	"sarmany/internal/refcpu"
 	"sarmany/internal/report"
 	"sarmany/internal/sar"
 	"sarmany/internal/sizing"
+	"sarmany/internal/sweep"
 )
 
 // Radar front end.
@@ -344,18 +324,71 @@ func PaperExperiment() ExperimentConfig { return report.Default() }
 func SmallExperiment() ExperimentConfig { return report.Small() }
 
 // RunTable1 reruns all six Table I implementations.
-func RunTable1(cfg ExperimentConfig) (*Table1, error) { return report.RunTable1(cfg) }
+func RunTable1(cfg ExperimentConfig) (*Table1, error) {
+	return report.RunTable1(context.Background(), cfg)
+}
+
+// RunTable1Ctx is RunTable1 with a caller-supplied context: cancellation
+// (or a deadline) stops the experiment at the next simulation boundary.
+func RunTable1Ctx(ctx context.Context, cfg ExperimentConfig) (*Table1, error) {
+	return report.RunTable1(ctx, cfg)
+}
 
 // RunFigure7 recomputes the Fig. 7 image set (raw data, GBP, FFBP on both
 // machines) and its quality metrics.
 func RunFigure7(cfg ExperimentConfig) (Fig7Metrics, [4]*Image, error) {
-	return bench.RunFigure7(cfg)
+	return bench.RunFigure7(context.Background(), cfg)
 }
 
 // WriteFigure7 writes the Fig. 7 images as PNGs into dir and the metrics
 // to w.
 func WriteFigure7(w io.Writer, cfg ExperimentConfig, dir string) error {
-	return bench.Figure7(w, cfg, dir)
+	return bench.Figure7(context.Background(), w, cfg, dir)
+}
+
+// Concurrent experiment sweeps.
+type (
+	// SweepJob is one simulation of a sweep: a workload selector (a
+	// benchtab experiment key, or any label a custom runner interprets)
+	// applied to one experiment configuration, with optional Extra
+	// workload parameters.
+	SweepJob = sweep.Job
+	// SweepOptions configures a sweep run: worker count, result cache
+	// directory, per-job timeout, metrics registry, and runner override.
+	SweepOptions = sweep.Options
+	// SweepJobResult is one job's outcome, returned at the same index as
+	// its job regardless of completion order.
+	SweepJobResult = sweep.JobResult
+	// BenchResult is the machine-readable experiment envelope
+	// (the BENCH_<name>.json form).
+	BenchResult = bench.Result
+	// MetricsRegistry collects named counters, gauges, and histograms;
+	// see SweepOptions.Metrics.
+	MetricsRegistry = obs.Registry
+)
+
+// NewMetricsRegistry returns an empty metrics registry (for
+// SweepOptions.Metrics and the other instrumented subsystems).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunSweep fans the jobs out across a bounded worker pool and returns
+// their results in input order. Each job runs with panic recovery and an
+// optional timeout; with SweepOptions.CacheDir set, completed envelopes
+// are cached by a content address of their configuration and replayed
+// byte-identically on reruns.
+func RunSweep(ctx context.Context, jobs []SweepJob, opt SweepOptions) ([]SweepJobResult, error) {
+	return sweep.Run(ctx, jobs, opt)
+}
+
+// SweepData returns a sweep result's experiment data as its concrete
+// type, decoding the raw payload when the envelope was replayed from the
+// cache (e.g. a "t1" job yields *Table1 either way). It only understands
+// the built-in benchtab envelopes; custom runners decode their own.
+func SweepData(r SweepJobResult) (any, error) {
+	if raw, ok := r.Result.Data.(json.RawMessage); ok {
+		return bench.DecodeData(r.Result.Name, raw)
+	}
+	return r.Result.Data, nil
 }
 
 // SaveImage renders a complex image (magnitude, dB scale) to a .png or

@@ -1,0 +1,28 @@
+#!/bin/sh
+# checkdocs fails when the root package or any internal package lacks a
+# package doc comment ("// Package <name> ..." above the package clause
+# in a non-test file). Run via `make docscheck`; part of `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+missing=$(go list -f '{{.ImportPath}}|{{.Name}}|{{.Dir}}' . ./internal/... | \
+while IFS='|' read -r path name dir; do
+	found=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		if grep -q "^// Package $name " "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "$path (want '// Package $name ...')"
+	fi
+done)
+
+if [ -n "$missing" ]; then
+	echo "checkdocs: packages missing a package doc comment:"
+	echo "$missing" | sed 's/^/  /'
+	exit 1
+fi
+echo "checkdocs: all packages documented"
