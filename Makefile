@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench sweepbench docscheck clean
+.PHONY: all check fmt vet build test race bench sweepbench profbench benchdiff baseline docscheck clean
 
 all: check
 
 # check runs the full verification gate: formatting, static analysis,
-# build, package-doc coverage, the race-enabled test suite, and the
-# sweep-engine throughput measurement.
-check: fmt vet build docscheck race sweepbench
+# build, package-doc coverage, the race-enabled test suite, the sweep and
+# profiler throughput measurements, and the benchmark regression diff
+# against the committed baselines.
+check: fmt vet build docscheck race sweepbench profbench benchdiff
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,13 +30,38 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # sweepbench exercises the concurrent sweep engine under the race
-# detector and records its throughput as BENCH_sweep.json.
+# detector and records its throughput as out/BENCH_sweep.json.
 sweepbench:
-	SWEEPBENCH_OUT=$(CURDIR) $(GO) test -race -run TestSweep -count=1 ./internal/sweep
+	SWEEPBENCH_OUT=$(CURDIR)/out $(GO) test -race -run TestSweep -count=1 ./internal/sweep
+
+# profbench runs the trace-driven profiler over a traced 16-core FFBP
+# run and records its throughput as out/BENCH_profile.json.
+profbench:
+	PROFBENCH_OUT=$(CURDIR)/out $(GO) test -race -run TestProfile -count=1 ./internal/profile
+
+# benchdiff gates the envelopes recorded by sweepbench/profbench against
+# the committed baselines. Modeled simulator output (cycles, span and
+# segment counts, job counts) must stay within the tolerance; wall-clock
+# and host-shape fields legitimately vary between machines and are
+# advisory — printed when they move, never a failure.
+BENCHDIFF_ADVISORY := data.seconds*,data.speedup,data.*_per_sec,data.host_cpus,data.analyze_seconds
+
+benchdiff:
+	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
+		BENCH_sweep.json out/BENCH_sweep.json
+	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
+		BENCH_profile.json out/BENCH_profile.json
+
+# baseline refreshes the committed envelopes from freshly recorded runs.
+# Use after an intentional change to modeled results, then commit the
+# updated BENCH_*.json files.
+baseline: sweepbench profbench
+	cp out/BENCH_sweep.json BENCH_sweep.json
+	cp out/BENCH_profile.json BENCH_profile.json
 
 # docscheck fails when any package lacks a package doc comment.
 docscheck:
 	./scripts/checkdocs.sh
 
 clean:
-	rm -rf out BENCH_*.json
+	rm -rf out

@@ -104,11 +104,15 @@ func main() {
 			}
 		}
 		writeTrace(*traceF, tracer)
-		writeMetrics(*metricF, cpu.Metrics().Snapshot())
+		// Metrics() builds the registry fresh each call, so publish the
+		// tracer's span accounting into the one instance we snapshot.
+		reg := cpu.Metrics()
+		tracer.PublishMetrics(reg)
+		writeMetrics(*metricF, reg.Snapshot())
 		if *jsonOut {
 			writeSummary(summary{Kernel: *kernel, Machine: "intel-i7", Cores: 1,
 				ClockHz: cpu.P.Clock, Cycles: cpu.Cycles(), Seconds: cpu.Seconds(),
-				Metrics: cpu.Metrics().Snapshot()})
+				Metrics: reg.Snapshot()})
 			return
 		}
 		fmt.Printf("%s on Intel i7 model @ %.2f GHz\n", *kernel, cpu.P.Clock/1e9)
@@ -162,13 +166,17 @@ func main() {
 	}
 
 	writeTrace(*traceF, tracer)
-	writeMetrics(*metricF, ch.Metrics().Snapshot())
+	// Metrics() builds the registry fresh each call, so publish the
+	// tracer's span accounting into the one instance we snapshot.
+	reg := ch.Metrics()
+	tracer.PublishMetrics(reg)
+	writeMetrics(*metricF, reg.Snapshot())
 	if *jsonOut {
 		writeSummary(summary{Kernel: *kernel,
 			Machine: fmt.Sprintf("epiphany-%dx%d", cfg.Epiphany.Rows, cfg.Epiphany.Cols),
 			Cores:   used, ClockHz: cfg.Epiphany.Clock,
 			Cycles: ch.MaxCycles(), Seconds: ch.Time(),
-			Metrics: ch.Metrics().Snapshot()})
+			Metrics: reg.Snapshot()})
 		return
 	}
 

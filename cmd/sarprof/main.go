@@ -1,0 +1,129 @@
+// Sarprof runs one traced kernel on the simulated Epiphany and analyzes
+// the trace with internal/profile: critical-path extraction with
+// per-cause stall attribution, per-phase energy attribution against the
+// power model, a roofline classification of every barrier phase, and a
+// mesh heatmap of core utilization and link traffic.
+//
+// Usage:
+//
+//	sarprof -kernel ffbp-par                  # profile the 16-core FFBP
+//	sarprof -kernel ffbp-par -cores 8 -small
+//	sarprof -kernel af-par                    # the 13-core autofocus pipeline
+//	sarprof -kernel ffbp-seq
+//	sarprof -kernel ffbp-par -mesh 8x8 -cores 64
+//	sarprof -html profile.html                # self-contained HTML report
+//	sarprof -json profile.json                # machine-readable profile
+//	sarprof -tracecap 262144                  # larger span rings
+//
+// The text report always goes to stdout. Only Epiphany kernels can be
+// profiled: the analyzer consumes the chip's span tracks, dependency
+// edges and phase records.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+	"sarmany/internal/kernels"
+	"sarmany/internal/obs"
+	"sarmany/internal/profile"
+	"sarmany/internal/report"
+	"sarmany/internal/sar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sarprof: ")
+
+	var (
+		kernel = flag.String("kernel", "ffbp-par", "ffbp-par, ffbp-seq, af-par, af-seq")
+		cores  = flag.Int("cores", 16, "cores for ffbp-par")
+		mesh   = flag.String("mesh", "4x4", "Epiphany mesh size RxC")
+		small  = flag.Bool("small", false, "reduced workload")
+		traceN = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track")
+		htmlF  = flag.String("html", "", "also write a self-contained HTML report")
+		jsonF  = flag.String("json", "", "also write the profile as JSON")
+	)
+	flag.Parse()
+
+	cfg := report.Default()
+	if *small {
+		cfg = report.Small()
+	}
+	var r, c int
+	if _, err := fmt.Sscanf(*mesh, "%dx%d", &r, &c); err != nil || r < 1 || c < 1 {
+		log.Fatalf("bad mesh %q", *mesh)
+	}
+	cfg.Epiphany = cfg.Epiphany.WithMesh(r, c)
+
+	ch := emu.New(cfg.Epiphany)
+	tracer := obs.NewTracer(cfg.Epiphany.Clock)
+	tracer.SetCapacity(*traceN)
+	ch.SetTracer(tracer)
+
+	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
+	switch *kernel {
+	case "ffbp-par":
+		if _, _, err := kernels.ParFFBP(ch, *cores, data, cfg.Params, cfg.Box); err != nil {
+			log.Fatal(err)
+		}
+	case "ffbp-seq":
+		if _, _, err := kernels.SeqFFBP(ch.Cores[0], ch.Ext(), data, cfg.Params, cfg.Box); err != nil {
+			log.Fatal(err)
+		}
+	case "af-par":
+		pairs := report.AutofocusWorkload(cfg)
+		shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+		if _, err := kernels.ParAutofocus(ch, pairs, shifts); err != nil {
+			log.Fatal(err)
+		}
+	case "af-seq":
+		pairs := report.AutofocusWorkload(cfg)
+		shifts := autofocus.RangeSweep(-1.5, 1.5, cfg.Shifts)
+		if _, err := kernels.SeqAutofocus(ch.Cores[0], ch.Ext(), pairs, shifts); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown kernel %q (sarprof profiles Epiphany kernels only)", *kernel)
+	}
+
+	p, err := profile.AnalyzeChip(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: ", *kernel)
+	if err := p.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *htmlF != "" {
+		writeTo(*htmlF, p.WriteHTML)
+	}
+	if *jsonF != "" {
+		writeTo(*jsonF, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(p)
+		})
+	}
+}
+
+// writeTo creates path and streams one of the profile's exporters into it.
+func writeTo(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sarprof: wrote %s\n", path)
+}

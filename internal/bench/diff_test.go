@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseEnvelope = `{
+  "name": "profile",
+  "title": "Trace analyzer throughput",
+  "pulses": 128,
+  "bins": 251,
+  "data": {
+    "cores": 16,
+    "spans": 50000,
+    "run_cycles": 5634944,
+    "analyze_seconds": 0.031,
+    "race_enabled": true,
+    "points": [{"cores": 1, "seconds": 3.2}, {"cores": 8, "seconds": 0.5}]
+  }
+}`
+
+func TestDiffIdenticalEnvelopesPass(t *testing.T) {
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(baseEnvelope), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("identical envelopes produced findings: %v", fs)
+	}
+}
+
+func TestDiffFlagsCycleRegression(t *testing.T) {
+	// A 5% cycle regression against a 2% gate: exactly one finding.
+	regressed := strings.Replace(baseEnvelope, `"run_cycles": 5634944`, `"run_cycles": 5916691`, 1)
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(regressed), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || Regressions(fs) != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	f := fs[0]
+	if f.Path != "data.run_cycles" || f.Advisory {
+		t.Errorf("finding: %+v", f)
+	}
+	if f.Delta < 0.049 || f.Delta > 0.051 {
+		t.Errorf("delta = %v, want ~+0.05", f.Delta)
+	}
+	// Improvements beyond tolerance are reported too — an unexplained
+	// speedup is as suspicious as a slowdown.
+	improved := strings.Replace(baseEnvelope, `"run_cycles": 5634944`, `"run_cycles": 5000000`, 1)
+	fs, err = DiffEnvelopes([]byte(baseEnvelope), []byte(improved), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Regressions(fs) != 1 || fs[0].Delta >= 0 {
+		t.Errorf("improvement not flagged: %v", fs)
+	}
+}
+
+func TestDiffWithinToleranceIsQuiet(t *testing.T) {
+	drifted := strings.Replace(baseEnvelope, `"run_cycles": 5634944`, `"run_cycles": 5690000`, 1) // ~1%
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(drifted), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("within-tolerance drift flagged: %v", fs)
+	}
+}
+
+func TestDiffAdvisoryPatternsDoNotGate(t *testing.T) {
+	changed := strings.Replace(baseEnvelope, `"analyze_seconds": 0.031`, `"analyze_seconds": 0.5`, 1)
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(changed), DiffOptions{
+		Tolerance: 0.02,
+		Advisory:  []string{"data.analyze_seconds", "data.*_per_sec"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !fs[0].Advisory || Regressions(fs) != 0 {
+		t.Fatalf("findings: %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "advisory") {
+		t.Errorf("advisory tag missing: %s", fs[0])
+	}
+}
+
+func TestDiffMissingAndExtraLeaves(t *testing.T) {
+	pruned := strings.Replace(baseEnvelope, `"spans": 50000,`, ``, 1)
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(pruned), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].New != "(missing)" || fs[0].Path != "data.spans" {
+		t.Fatalf("dropped leaf not flagged: %v", fs)
+	}
+	fs, err = DiffEnvelopes([]byte(pruned), []byte(baseEnvelope), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Old != "(missing)" {
+		t.Fatalf("new leaf not flagged: %v", fs)
+	}
+}
+
+func TestDiffNestedArraysAndNonNumerics(t *testing.T) {
+	changed := strings.Replace(baseEnvelope, `{"cores": 8, "seconds": 0.5}`, `{"cores": 8, "seconds": 0.9}`, 1)
+	changed = strings.Replace(changed, `"race_enabled": true`, `"race_enabled": false`, 1)
+	changed = strings.Replace(changed, `"title": "Trace analyzer throughput"`, `"title": "renamed"`, 1)
+	fs, err := DiffEnvelopes([]byte(baseEnvelope), []byte(changed), DiffOptions{Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"data.points[1].seconds": true,
+		"data.race_enabled":      true,
+		"title":                  true,
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("findings: %v", fs)
+	}
+	for _, f := range fs {
+		if !want[f.Path] {
+			t.Errorf("unexpected finding %+v", f)
+		}
+	}
+}
+
+func TestDiffRejectsMalformedJSON(t *testing.T) {
+	if _, err := DiffEnvelopes([]byte("{"), []byte(baseEnvelope), DiffOptions{}); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	if _, err := DiffEnvelopes([]byte(baseEnvelope), []byte("not json"), DiffOptions{}); err == nil {
+		t.Error("malformed candidate accepted")
+	}
+}

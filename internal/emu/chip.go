@@ -25,6 +25,10 @@ type Chip struct {
 	barBusy    []float64
 	phaseStart float64
 	trace      []PhaseRecord
+	// phaseCum is the cumulative active-core stats at the end of the most
+	// recently resolved phase; resolvePhase diffs against it to attribute
+	// operation counts and traffic to individual phases.
+	phaseCum CoreStats
 
 	// ran is the core count of the most recent Run; Time, MaxCycles and
 	// TotalStats aggregate only those cores so results of a narrower run
@@ -119,6 +123,7 @@ func (ch *Chip) Run(n int, fn func(c *Core)) {
 	ch.ran = n
 	ch.bar = sim.NewRendezvous(n)
 	ch.phaseStart = 0
+	ch.phaseCum = ch.sumActiveStats()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -151,6 +156,14 @@ func (ch *Chip) resolvePhase() {
 		t = drain
 		bwBound = true
 	}
+	// Attribute the phase's operation counts and traffic: the other cores
+	// are parked in the rendezvous with their windows committed, so their
+	// Stats are safe to read here. Barrier-stall cycles are recorded after
+	// the cores are released, so a phase's delta carries the *previous*
+	// barrier's waits; totals over all phases still reconcile exactly.
+	cum := ch.sumActiveStats()
+	delta := SubStats(cum, ch.phaseCum)
+	ch.phaseCum = cum
 	ch.trace = append(ch.trace, PhaseRecord{
 		Index:          len(ch.trace),
 		Start:          ch.phaseStart,
@@ -158,6 +171,7 @@ func (ch *Chip) resolvePhase() {
 		SlowestCore:    maxFinish,
 		ExtBusy:        totalBusy,
 		BandwidthBound: bwBound,
+		Stats:          delta,
 	})
 	kind := obs.KindPhaseCompute
 	if bwBound {
@@ -166,6 +180,56 @@ func (ch *Chip) resolvePhase() {
 	ch.phaseTrack.Span(kind, ch.phaseStart, t)
 	ch.phaseStart = t
 }
+
+// sumActiveStats sums the stats of the active cores. It is called from
+// the rendezvous resolution step, where every other participant is parked
+// with its dual-issue window committed.
+func (ch *Chip) sumActiveStats() CoreStats {
+	var sum CoreStats
+	for i := 0; i < ch.active; i++ {
+		sum = AddStats(sum, ch.Cores[i].Stats)
+	}
+	return sum
+}
+
+// CoreTrack returns core i's event-trace track (nil when tracing is
+// disabled) — the span stream consumers like internal/profile analyze.
+func (ch *Chip) CoreTrack(i int) *obs.Track { return ch.Cores[i].tr }
+
+// PhaseTrack returns the synthetic barrier-phase track (nil when tracing
+// is disabled).
+func (ch *Chip) PhaseTrack() *obs.Track { return ch.phaseTrack }
+
+// LinkStat is the read-side view of one streaming link's occupancy after
+// a run completes.
+type LinkStat struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Hops     int     `json:"hops"`
+	Blocks   uint64  `json:"blocks"`
+	Bytes    uint64  `json:"bytes"`
+	SendWait float64 `json:"send_wait_cycles"` // producer back-pressure
+	RecvWait float64 `json:"recv_wait_cycles"` // consumer empty-buffer waits
+}
+
+// LinkStats returns the occupancy of every link Connect has created, in
+// creation order. Call only after Run has returned.
+func (ch *Chip) LinkStats() []LinkStat {
+	out := make([]LinkStat, 0, len(ch.links))
+	for _, l := range ch.links {
+		out = append(out, LinkStat{
+			From: l.from.ID, To: l.to.ID, Hops: l.hops,
+			Blocks: l.sends, Bytes: l.bytes,
+			SendWait: l.sendStall, RecvWait: l.recvStall,
+		})
+	}
+	return out
+}
+
+// ActiveCount returns how many cores the aggregate views cover: the core
+// count of the most recent Run, or the full mesh if Run has not been used
+// (sequential kernels drive Cores[0] directly).
+func (ch *Chip) ActiveCount() int { return len(ch.activeCores()) }
 
 // activeCores returns the cores of the most recent Run, or all cores if
 // Run has not been used (sequential kernels drive Cores[0] directly).
@@ -246,6 +310,11 @@ func (l *Link) Send(c *Core, vals []complex64) {
 	before := c.now
 	c.now = l.ch.Send(c.now, block, dur)
 	c.noteStall(obs.KindStallLink, before, c.now)
+	if c.now > before {
+		// Back-pressure: the producer waited for the consumer to free a
+		// slot at c.now — a dependency edge for critical-path analysis.
+		c.tr.Dep(l.to.tr, c.now, c.now)
+	}
 	l.sendStall += c.now - before
 	l.sends++
 	l.bytes += uint64(n)
@@ -267,6 +336,11 @@ func (l *Link) Recv(c *Core) []complex64 {
 		before := c.now
 		c.now = now
 		c.noteStall(obs.KindStallLink, before, c.now)
+		// The block that unblocked the consumer left the producer one
+		// mesh traversal earlier; record the handoff edge so the critical
+		// path can continue on the producer.
+		transit := float64(l.hops)*c.chip.P.RemoteHopCycles + words(len(v)*8)*8/c.chip.P.NoCBytesPerCycle
+		c.tr.Dep(l.from.tr, now-transit, now)
 		l.recvStall += c.now - before
 	}
 	l.recvs++

@@ -42,6 +42,26 @@ var coreStatFields = []struct {
 	{"cycles.stall.barrier", func(s *CoreStats) float64 { return s.BarrierStallCycles }, func(s *CoreStats, v float64) { s.BarrierStallCycles = v }},
 }
 
+// AddStats returns the field-wise sum a+b over every published statistic,
+// using the same field table as Metrics so new counters cannot be missed.
+func AddStats(a, b CoreStats) CoreStats {
+	var out CoreStats
+	for _, f := range coreStatFields {
+		f.set(&out, f.get(&a)+f.get(&b))
+	}
+	return out
+}
+
+// SubStats returns the field-wise difference a-b — the per-phase deltas
+// internal/profile attributes energy to.
+func SubStats(a, b CoreStats) CoreStats {
+	var out CoreStats
+	for _, f := range coreStatFields {
+		f.set(&out, f.get(&a)-f.get(&b))
+	}
+	return out
+}
+
 // stallHistograms maps per-cause stall metric names to the CoreStats field
 // feeding the per-core distribution histograms.
 var stallHistograms = []struct {

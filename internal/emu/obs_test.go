@@ -175,6 +175,73 @@ func TestChipMetricsRegistry(t *testing.T) {
 	}
 }
 
+// TestPhaseStatsReconcile: the per-phase stat deltas plus the tail after
+// the final barrier must sum field-by-field to TotalStats.
+func TestPhaseStatsReconcile(t *testing.T) {
+	ch := obsWorkload(t, nil)
+	var phased CoreStats
+	for _, p := range ch.Phases() {
+		phased = AddStats(phased, p.Stats)
+	}
+	tail := SubStats(ch.TotalStats(), phased)
+	total := AddStats(phased, tail)
+	if got, want := total, ch.TotalStats(); got != want {
+		t.Errorf("phase deltas + tail != TotalStats:\n got %+v\nwant %+v", got, want)
+	}
+	// The first phase carries the pre-barrier work: 4 cores x 1000 FMAs.
+	if got := ch.Phases()[0].Stats.FMA; got != 4000 {
+		t.Errorf("phase 0 FMA delta = %d, want 4000", got)
+	}
+	// No barrier has released yet when phase 0 resolves.
+	if got := ch.Phases()[0].Stats.BarrierStallCycles; got != 0 {
+		t.Errorf("phase 0 barrier-stall delta = %v, want 0 (recorded after release)", got)
+	}
+}
+
+func TestLinkStatsAndHandoffEdges(t *testing.T) {
+	tr := obs.NewTracer(1e9)
+	ch := obsWorkload(t, tr)
+	ls := ch.LinkStats()
+	if len(ls) != 1 {
+		t.Fatalf("%d link stats, want 1", len(ls))
+	}
+	l := ls[0]
+	if l.From != 0 || l.To != 1 || l.Hops != 1 || l.Blocks != 1 || l.Bytes != 16*8 {
+		t.Errorf("link stat %+v", l)
+	}
+	// Core 1 reaches Recv before core 0's block arrives (both do the same
+	// pre-work, and the send adds issue cycles), so the consumer stalls
+	// and must record a handoff edge back to the producer's track.
+	if l.RecvWait <= 0 {
+		t.Fatalf("consumer did not wait (RecvWait=%v); workload no longer exercises the edge", l.RecvWait)
+	}
+	deps := ch.CoreTrack(1).Deps()
+	if len(deps) != 1 {
+		t.Fatalf("%d edges on consumer track, want 1", len(deps))
+	}
+	e := deps[0]
+	if e.Src != ch.CoreTrack(0) {
+		t.Errorf("edge source is %q, want producer track", e.Src.Name())
+	}
+	if e.SrcTime >= e.At {
+		t.Errorf("edge times: src %v must precede arrival %v", e.SrcTime, e.At)
+	}
+	// The arrival must close the consumer's link-stall span.
+	var linkSpan *obs.Span
+	for _, s := range ch.CoreTrack(1).Spans() {
+		if s.Kind == obs.KindStallLink {
+			sc := s
+			linkSpan = &sc
+		}
+	}
+	if linkSpan == nil {
+		t.Fatal("no link-stall span on consumer")
+	}
+	if diff := linkSpan.End - e.At; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("edge At %v != link-stall span end %v", e.At, linkSpan.End)
+	}
+}
+
 func TestZeroDurationPhaseTable(t *testing.T) {
 	ch := New(E16G3())
 	ch.Run(2, func(c *Core) {

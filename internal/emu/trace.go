@@ -21,6 +21,12 @@ type PhaseRecord struct {
 	// BandwidthBound reports whether draining the off-chip channel (not
 	// core compute) determined the barrier time.
 	BandwidthBound bool
+	// Stats is the summed active-core statistics delta attributed to this
+	// phase (operations, traffic, stall cycles accumulated since the
+	// previous barrier). Barrier-stall cycles recorded after a barrier
+	// releases land in the *next* phase's delta; totals over all phases
+	// plus the post-final-barrier tail reconcile exactly with TotalStats.
+	Stats CoreStats
 }
 
 // Duration returns the phase length in cycles.

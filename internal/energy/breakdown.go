@@ -14,11 +14,11 @@ import (
 // immediate neighbor, minimizing signal length"), the off-chip eLink, and
 // the clock/leakage baseline that fine-grained clock gating minimizes.
 type Breakdown struct {
-	ComputeJ  float64 // FPU + IALU operations
-	LocalMemJ float64 // local bank accesses
-	NoCJ      float64 // mesh traffic
-	ELinkJ    float64 // off-chip traffic
-	StaticJ   float64 // clock distribution + leakage over the run
+	ComputeJ  float64 `json:"compute_j"`   // FPU + IALU operations
+	LocalMemJ float64 `json:"local_mem_j"` // local bank accesses
+	NoCJ      float64 `json:"noc_j"`       // mesh traffic
+	ELinkJ    float64 `json:"elink_j"`     // off-chip traffic
+	StaticJ   float64 `json:"static_j"`    // clock distribution + leakage over the run
 }
 
 // Per-event energy constants for the 65 nm Epiphany-III class core, in

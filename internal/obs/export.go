@@ -143,9 +143,15 @@ func (tr *Tracer) WriteTimeline(w io.Writer, width int) error {
 	for k := Kind(0); k < numKinds; k++ {
 		legend = append(legend, fmt.Sprintf("%c=%s", timelineGlyphs[k], k))
 	}
-	_, err := fmt.Fprintf(w, "%-*s  0 .. %.0f cycles; %s\n",
-		nameW, "", end, strings.Join(legend, " "))
-	return err
+	if _, err := fmt.Fprintf(w, "%-*s  0 .. %.0f cycles; %s\n",
+		nameW, "", end, strings.Join(legend, " ")); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		_, err := fmt.Fprintf(w, "WARNING: %d spans dropped (ring overflow) — early activity is missing above; rerun with a larger track capacity\n", d)
+		return err
+	}
+	return nil
 }
 
 func minf(a, b float64) float64 {

@@ -99,6 +99,88 @@ func TestTraceEventIsValidJSON(t *testing.T) {
 	}
 }
 
+// TestWriteTraceEventEscapingGolden pins the export's JSON string
+// escaping and field order for hostile display names: quotes,
+// backslashes, control characters and non-ASCII text in process and
+// thread names must produce stable, valid JSON.
+func TestWriteTraceEventEscapingGolden(t *testing.T) {
+	tr := NewTracer(2e9)
+	tr.NameProcess(3, `mesh "4x4" \ epiphany`)
+	esc := tr.NewTrack(3, 1, "core\t0 — «ω»")
+	esc.Span(KindCompute, 0, 512)
+	esc.Span(KindStallRead, 512, 640)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvent(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_event_escaping_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("escaped trace_event output differs from golden:\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// The escaped output must still parse, with the names round-tripping.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("escaped output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			names = append(names, ev.Args.Name)
+		}
+	}
+	if len(names) != 2 || names[0] != `mesh "4x4" \ epiphany` || names[1] != "core\t0 — «ω»" {
+		t.Errorf("names did not round-trip: %q", names)
+	}
+}
+
+func TestWriteTimelineDroppedWarning(t *testing.T) {
+	tr := NewTracer(1e9)
+	tr.SetCapacity(2)
+	tk := tr.NewTrack(0, 1, "ring")
+	for i := 0; i < 5; i++ {
+		tk.Span(KindCompute, float64(i)*10, float64(i)*10+8)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTimeline(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(3 spans dropped)") {
+		t.Errorf("per-track drop note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING: 3 spans dropped") {
+		t.Errorf("timeline warning footer missing:\n%s", out)
+	}
+
+	// No drops: no warning line.
+	buf.Reset()
+	if err := goldenTracer().WriteTimeline(&buf, 20); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("warning printed without drops:\n%s", buf.String())
+	}
+}
+
 func TestWriteTimeline(t *testing.T) {
 	var buf bytes.Buffer
 	if err := goldenTracer().WriteTimeline(&buf, 40); err != nil {

@@ -86,6 +86,18 @@ type Span struct {
 // Duration returns the span length in cycles.
 func (s Span) Duration() float64 { return s.End - s.Start }
 
+// Edge is a cross-track dependency: the owning track could not progress
+// past cycle At until Src reached cycle SrcTime — a link-block arrival, a
+// freed back-pressure slot, or any other handoff between execution
+// contexts. Edges are what let a post-hoc analyzer (internal/profile)
+// follow the critical path off a stalled consumer and onto the producer
+// that kept it waiting.
+type Edge struct {
+	Src     *Track
+	SrcTime float64 // cycle on Src at which the dependency was satisfied
+	At      float64 // cycle on the owning track at which it unblocked
+}
+
 // Track is the span stream of one execution context (one simulated core,
 // or a synthetic context such as the chip's phase timeline). It must be
 // written by a single goroutine; reads are only safe after that goroutine
@@ -98,6 +110,7 @@ type Track struct {
 	spans   []Span // ring storage, preallocated to capacity
 	head    int    // index of the oldest span once the ring has wrapped
 	dropped uint64 // spans overwritten after the ring filled
+	deps    []Edge // incoming cross-track dependencies, in recording order
 }
 
 // Span records one interval. Zero- and negative-length spans are ignored.
@@ -118,6 +131,25 @@ func (t *Track) Span(kind Kind, start, end float64) {
 		t.head = 0
 	}
 	t.dropped++
+}
+
+// Dep records that the track's owner was blocked until src reached cycle
+// srcTime and unblocked at local cycle at. Like Span it must be called by
+// the owning goroutine only; src is stored by reference and never written
+// through. A nil receiver or nil src is a no-op.
+func (t *Track) Dep(src *Track, srcTime, at float64) {
+	if t == nil || src == nil {
+		return
+	}
+	t.deps = append(t.deps, Edge{Src: src, SrcTime: srcTime, At: at})
+}
+
+// Deps returns the recorded incoming dependency edges in recording order.
+func (t *Track) Deps() []Edge {
+	if t == nil {
+		return nil
+	}
+	return t.deps
 }
 
 // Name returns the track's display name ("" for a nil track).
@@ -243,6 +275,27 @@ func (tr *Tracer) Dropped() uint64 {
 		n += t.Dropped()
 	}
 	return n
+}
+
+// PublishMetrics records the tracer's span accounting into reg: the total
+// retained span count ("obs.spans.recorded"), the aggregate overflow
+// counter ("obs.spans.dropped"), and one "obs.spans.dropped.<track>"
+// counter per track that overflowed its ring — so a metrics snapshot
+// makes silent drop-oldest overflow visible instead of quietly truncating
+// the trace. Safe on a nil tracer or nil registry.
+func (tr *Tracer) PublishMetrics(reg *Registry) {
+	if tr == nil || reg == nil {
+		return
+	}
+	recorded := reg.Counter("obs.spans.recorded")
+	dropped := reg.Counter("obs.spans.dropped")
+	for _, t := range tr.Tracks() {
+		recorded.Add(float64(t.Len()))
+		if d := t.Dropped(); d > 0 {
+			dropped.Add(float64(d))
+			reg.Counter("obs.spans.dropped." + t.Name()).Add(float64(d))
+		}
+	}
 }
 
 // processes returns the registered (pid, name) pairs in registration

@@ -80,6 +80,61 @@ func TestRecordingDoesNotAllocate(t *testing.T) {
 	}
 }
 
+func TestTrackDeps(t *testing.T) {
+	tr := NewTracer(1e9)
+	prod := tr.NewTrack(0, 1, "producer")
+	cons := tr.NewTrack(0, 2, "consumer")
+	cons.Dep(prod, 100, 140)
+	cons.Dep(prod, 200, 260)
+	cons.Dep(nil, 0, 0) // nil src: ignored
+	deps := cons.Deps()
+	if len(deps) != 2 {
+		t.Fatalf("%d deps, want 2", len(deps))
+	}
+	if deps[0].Src != prod || deps[0].SrcTime != 100 || deps[0].At != 140 {
+		t.Errorf("dep 0 = %+v", deps[0])
+	}
+	if prod.Deps() != nil {
+		t.Errorf("producer has %d deps, want none", len(prod.Deps()))
+	}
+	var nilTrack *Track
+	nilTrack.Dep(prod, 1, 2) // must not panic
+	if nilTrack.Deps() != nil {
+		t.Error("nil track returned deps")
+	}
+}
+
+func TestPublishMetricsDroppedSpans(t *testing.T) {
+	tr := NewTracer(1e9)
+	tr.SetCapacity(4)
+	full := tr.NewTrack(0, 1, "core 0")
+	ok := tr.NewTrack(0, 2, "core 1")
+	for i := 0; i < 10; i++ {
+		full.Span(KindCompute, float64(i), float64(i)+1)
+	}
+	ok.Span(KindCompute, 0, 5)
+
+	reg := NewRegistry()
+	tr.PublishMetrics(reg)
+	snap := reg.Snapshot()
+	if got := snap.Value("obs.spans.dropped"); got != 6 {
+		t.Errorf("obs.spans.dropped = %v, want 6", got)
+	}
+	if got := snap.Value("obs.spans.dropped.core 0"); got != 6 {
+		t.Errorf("obs.spans.dropped.core 0 = %v, want 6", got)
+	}
+	if _, found := snap.Get("obs.spans.dropped.core 1"); found {
+		t.Error("per-track dropped counter published for a track with no drops")
+	}
+	if got := snap.Value("obs.spans.recorded"); got != 5 {
+		t.Errorf("obs.spans.recorded = %v, want 5 (4 retained + 1)", got)
+	}
+
+	var nilTr *Tracer
+	nilTr.PublishMetrics(reg) // must not panic
+	tr.PublishMetrics(nil)    // must not panic
+}
+
 func TestConcurrentTracksAreIndependent(t *testing.T) {
 	tr := NewTracer(1e9)
 	const nTracks, nSpans = 16, 500

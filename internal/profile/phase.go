@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"sarmany/internal/emu"
+	"sarmany/internal/energy"
+)
+
+// Roofline classifies a phase by operational intensity against the
+// machine's two ceilings: the FPU issue rate (one FPU op per core per
+// cycle, software routines expanded to their FPU op counts) and the
+// shared off-chip bandwidth. The classification is the roofline view of
+// the same question the emulator's contention model answers with
+// PhaseRecord.BandwidthBound; the two usually agree, and a disagreement
+// is itself diagnostic (e.g. a phase near both ceilings at once).
+type Roofline struct {
+	Flops    float64 `json:"flops"`     // expanded FPU operations
+	ExtBytes float64 `json:"ext_bytes"` // off-chip bytes moved
+
+	FlopPerCycle  float64 `json:"flop_per_cycle"`
+	BytePerCycle  float64 `json:"byte_per_cycle"`
+	ComputeUtil   float64 `json:"compute_util"`   // of cores × 1 flop/cycle
+	BandwidthUtil float64 `json:"bandwidth_util"` // of ExtBytesPerCycle
+}
+
+// Bound names the nearer ceiling: "bandwidth" when off-chip utilization
+// exceeds compute utilization, else "compute".
+func (r Roofline) Bound() string {
+	if r.BandwidthUtil > r.ComputeUtil {
+		return "bandwidth"
+	}
+	return "compute"
+}
+
+// PhaseEnergy is one row of the per-phase attribution: a barrier phase
+// (or the synthetic tail after the last barrier) with its statistics
+// delta, energy breakdown, and roofline classification.
+type PhaseEnergy struct {
+	// Index is the phase number, or -1 for the tail row.
+	Index int     `json:"index"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Bound is the contention model's verdict ("compute"/"bandwidth"),
+	// "" for the tail row.
+	Bound    string           `json:"bound"`
+	Stats    emu.CoreStats    `json:"stats"`
+	Energy   energy.Breakdown `json:"energy"`
+	Roofline Roofline         `json:"roofline"`
+}
+
+// Cycles returns the row's duration.
+func (p PhaseEnergy) Cycles() float64 { return p.End - p.Start }
+
+// attributePhases joins the chip's phase records with the energy model:
+// each phase's statistics delta is priced with the same per-event
+// constants as the whole run, and static power is charged per phase
+// duration, so the rows sum to the whole-run breakdown exactly.
+func attributePhases(ch *emu.Chip) []PhaseEnergy {
+	clock := ch.P.Clock
+	end := ch.MaxCycles()
+	var (
+		rows    []PhaseEnergy
+		covered float64
+		summed  emu.CoreStats
+	)
+	for _, p := range ch.Phases() {
+		rows = append(rows, PhaseEnergy{
+			Index: p.Index, Start: p.Start, End: p.End,
+			Bound:    p.Bound(),
+			Stats:    p.Stats,
+			Energy:   energy.EpiphanyBreakdown(p.Stats, p.Duration()/clock),
+			Roofline: roofline(ch.P, ch.ActiveCount(), p.Stats, p.Duration()),
+		})
+		covered = p.End
+		summed = emu.AddStats(summed, p.Stats)
+	}
+	// Tail: work after the final barrier (or the whole run for kernels
+	// with no barriers). Its stats are the residual against TotalStats,
+	// which also sweeps in barrier-release bookkeeping recorded after the
+	// last resolvePhase, keeping the rows' sum exact.
+	if tailStats := emu.SubStats(ch.TotalStats(), summed); end > covered || statsNonZero(tailStats) {
+		rows = append(rows, PhaseEnergy{
+			Index: -1, Start: covered, End: end,
+			Stats:    tailStats,
+			Energy:   energy.EpiphanyBreakdown(tailStats, (end-covered)/clock),
+			Roofline: roofline(ch.P, ch.ActiveCount(), tailStats, end-covered),
+		})
+	}
+	return rows
+}
+
+// roofline computes a stats delta's position against the ceilings.
+func roofline(p emu.Params, cores int, s emu.CoreStats, cycles float64) Roofline {
+	r := Roofline{
+		Flops: float64(s.FMA+s.Flop) +
+			float64(s.Sqrt*uint64(p.SqrtFlops)) +
+			float64(s.Div*uint64(p.DivFlops)) +
+			float64(s.Trig*uint64(p.TrigFlops)),
+		ExtBytes: float64(s.ExtReadB + s.ExtWriteB),
+	}
+	if cycles <= 0 {
+		return r
+	}
+	r.FlopPerCycle = r.Flops / cycles
+	r.BytePerCycle = r.ExtBytes / cycles
+	if cores > 0 {
+		r.ComputeUtil = r.FlopPerCycle / float64(cores)
+	}
+	if p.ExtBytesPerCycle > 0 {
+		r.BandwidthUtil = r.BytePerCycle / p.ExtBytesPerCycle
+	}
+	return r
+}
+
+// statsNonZero reports whether any published statistic is nonzero.
+func statsNonZero(s emu.CoreStats) bool {
+	var zero emu.CoreStats
+	return s != zero
+}
+
+// SumEnergy adds breakdowns component-wise.
+func SumEnergy(rows []PhaseEnergy) energy.Breakdown {
+	var t energy.Breakdown
+	for _, r := range rows {
+		t.ComputeJ += r.Energy.ComputeJ
+		t.LocalMemJ += r.Energy.LocalMemJ
+		t.NoCJ += r.Energy.NoCJ
+		t.ELinkJ += r.Energy.ELinkJ
+		t.StaticJ += r.Energy.StaticJ
+	}
+	return t
+}

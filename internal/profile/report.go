@@ -1,0 +1,106 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the full profile as a plain-text report: the
+// critical-path cause table and chain, the per-phase energy attribution,
+// the roofline classification, and the mesh heatmap.
+func (p *Profile) WriteText(w io.Writer) error {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "profile: epiphany %dx%d, %d cores, %.0f cycles (%.3f ms @ %.1f GHz)\n",
+		p.Rows, p.Cols, p.Cores, p.RunCycles, p.Seconds*1e3, p.ClockHz/1e9)
+	if p.DroppedSpans > 0 {
+		fmt.Fprintf(b, "WARNING: %d spans dropped (trace ring overflow) — early activity is missing and the critical path below may be truncated; rerun with a larger -tracecap\n",
+			p.DroppedSpans)
+	}
+
+	b.WriteString("\ncritical path (what bound the run, cycle by cycle):\n")
+	fmt.Fprintf(b, "  %-14s %14s %8s  %s\n", "cause", "cycles", "share", "")
+	for _, cause := range p.Critical.Causes() {
+		cy := p.Critical.ByCause[cause]
+		share := cy / p.RunCycles
+		fmt.Fprintf(b, "  %-14s %14.0f %7.1f%%  %s\n",
+			cause, cy, share*100, bar(share, 24))
+	}
+	fmt.Fprintf(b, "  %-14s %14.0f %7.1f%%  (%d segments)\n",
+		"total", p.Critical.Cycles(), 100*p.Critical.Cycles()/p.RunCycles, len(p.Critical.Segments))
+
+	if n := len(p.Critical.Segments); n > 0 {
+		b.WriteString("\n  chain (latest first):\n")
+		shown := 0
+		for i := n - 1; i >= 0 && shown < 12; i-- {
+			s := p.Critical.Segments[i]
+			fmt.Fprintf(b, "    %12.0f..%-12.0f %-8s %s\n", s.Start, s.End, s.Track, s.Cause)
+			shown++
+		}
+		if n > shown {
+			fmt.Fprintf(b, "    ... %d earlier segments\n", n-shown)
+		}
+	}
+
+	b.WriteString("\nper-phase energy attribution:\n")
+	fmt.Fprintf(b, "  %-5s %12s %10s %10s %9s %9s %9s %9s %9s %10s %8s %8s\n",
+		"phase", "cycles", "bound", "roofline", "compute", "localmem", "noc", "elink", "static", "total J", "flop/cy", "B/cy")
+	for _, ph := range p.Phases {
+		name := fmt.Sprintf("%d", ph.Index)
+		bound := ph.Bound
+		if ph.Index < 0 {
+			name, bound = "tail", "-"
+		}
+		e := ph.Energy
+		fmt.Fprintf(b, "  %-5s %12.0f %10s %10s %9.2e %9.2e %9.2e %9.2e %9.2e %10.3e %8.2f %8.3f\n",
+			name, ph.Cycles(), bound, ph.Roofline.Bound(),
+			e.ComputeJ, e.LocalMemJ, e.NoCJ, e.ELinkJ, e.StaticJ, e.Total(),
+			ph.Roofline.FlopPerCycle, ph.Roofline.BytePerCycle)
+	}
+	t := p.TotalEnergy
+	fmt.Fprintf(b, "  %-5s %12.0f %10s %10s %9.2e %9.2e %9.2e %9.2e %9.2e %10.3e (avg %.2f W)\n",
+		"total", p.RunCycles, "", "",
+		t.ComputeJ, t.LocalMemJ, t.NoCJ, t.ELinkJ, t.StaticJ, t.Total(),
+		t.AveragePower(p.Seconds))
+
+	b.WriteString("\nmesh heatmap (per-core busy fraction):\n")
+	for r := 0; r < p.Heatmap.Rows; r++ {
+		b.WriteString("  ")
+		for c := 0; c < p.Heatmap.Cols; c++ {
+			fmt.Fprintf(b, " %3.0f%%", 100*p.Heatmap.CoreBusy[r*p.Heatmap.Cols+c])
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Heatmap.Links) > 0 {
+		b.WriteString("\n  link occupancy:\n")
+		fmt.Fprintf(b, "  %-9s %5s %8s %10s %12s %12s\n",
+			"link", "hops", "blocks", "bytes", "send wait", "recv wait")
+		for _, l := range p.Heatmap.Links {
+			fmt.Fprintf(b, "  %3d->%-4d %5d %8d %10d %12.0f %12.0f\n",
+				l.From, l.To, l.Hops, l.Blocks, l.Bytes, l.SendWait, l.RecvWait)
+		}
+	}
+	if len(p.Heatmap.MeshEdges) > 0 {
+		max := p.Heatmap.MaxEdgeBytes()
+		b.WriteString("\n  physical mesh edges (XY-routed):\n")
+		for _, e := range p.Heatmap.MeshEdges {
+			fmt.Fprintf(b, "  (%d,%d)->(%d,%d) %10d B  %s\n",
+				e.FromRow, e.FromCol, e.ToRow, e.ToCol, e.Bytes,
+				bar(float64(e.Bytes)/float64(max), 24))
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bar renders a fraction as a fixed-width hash bar, clamped to [0, 1].
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return strings.Repeat("#", int(frac*float64(width)+0.5))
+}

@@ -125,11 +125,11 @@ func (e *TimeoutError) Error() string {
 // metrics bundles the registry instruments so a nil registry costs one
 // branch per update.
 type metrics struct {
-	queued, done, cached, failed, executed *obs.Counter
-	running                                *obs.Gauge
-	seconds                                *obs.Histogram
-	mu                                     sync.Mutex
-	nrunning                               int
+	queued, done, cached, failed, executed, deduped *obs.Counter
+	running                                         *obs.Gauge
+	seconds                                         *obs.Histogram
+	mu                                              sync.Mutex
+	nrunning                                        int
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -142,6 +142,7 @@ func newMetrics(r *obs.Registry) *metrics {
 		cached:   r.Counter("sweep.jobs.cached"),
 		failed:   r.Counter("sweep.jobs.failed"),
 		executed: r.Counter("sweep.jobs.executed"),
+		deduped:  r.Counter("sweep.jobs.deduped"),
 		running:  r.Gauge("sweep.jobs.running"),
 		seconds:  r.Histogram("sweep.job.seconds"),
 	}
@@ -209,6 +210,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		}
 		if idxs, seen := dup[key]; seen {
 			dup[key] = append(idxs, i)
+			if m != nil {
+				m.queued.Add(1)
+			}
 			continue
 		}
 		dup[key] = []int{i}
@@ -235,7 +239,12 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 	close(work)
 	wg.Wait()
 
-	// Fan representative results out to duplicate slots.
+	// Fan representative results out to duplicate slots. Each duplicate
+	// passes through the same lifecycle counters as its representative
+	// (done or failed, cached when the envelope was replayed), plus a
+	// deduped count — so sweep.jobs.queued always reconciles with
+	// done+failed, and warm-cache reruns of deduplicated sweeps report
+	// every slot in sweep.jobs.cached.
 	for _, idxs := range dup {
 		if len(idxs) < 2 {
 			continue
@@ -245,6 +254,18 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 			r := rep
 			r.Job, r.Index = jobs[i], i
 			results[i] = r
+			if m == nil {
+				continue
+			}
+			m.deduped.Add(1)
+			if r.Err != nil {
+				m.failed.Add(1)
+				continue
+			}
+			m.done.Add(1)
+			if r.Cached {
+				m.cached.Add(1)
+			}
 		}
 	}
 	return results, nil

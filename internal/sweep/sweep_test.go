@@ -163,6 +163,91 @@ func TestSweepDedup(t *testing.T) {
 	}
 }
 
+// TestSweepDedupMetrics: duplicate slots must pass through the same
+// lifecycle counters as their representative, so queued reconciles with
+// done+failed and a warm deduplicated sweep reports every slot cached.
+func TestSweepDedupMetrics(t *testing.T) {
+	base := Job{Name: "a", Exp: "dup", Extra: 7}
+	dup, other := base, base
+	dup.Name = "b" // Name is not part of the key
+	other.Extra = 8
+	jobs := []Job{base, dup, other, base}
+	run := func(ctx context.Context, j Job) (bench.Result, error) {
+		return bench.Result{Name: "dup", Data: ffbpPoint{Cores: j.Extra.(int)}}, nil
+	}
+	dir := t.TempDir()
+
+	cold := obs.NewRegistry()
+	if _, err := Run(context.Background(), jobs, Options{
+		Workers: 4, CacheDir: dir, Metrics: cold, Run: run,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"sweep.jobs.queued":   4, // every input slot, duplicates included
+		"sweep.jobs.executed": 2, // one per distinct key
+		"sweep.jobs.deduped":  2,
+		"sweep.jobs.done":     4,
+		"sweep.jobs.cached":   0,
+		"sweep.jobs.failed":   0,
+	} {
+		if got := counter(cold, name); got != want {
+			t.Errorf("cold %s = %v, want %v", name, got, want)
+		}
+	}
+
+	warm := obs.NewRegistry()
+	if _, err := Run(context.Background(), jobs, Options{
+		Workers: 4, CacheDir: dir, Metrics: warm, Run: run,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"sweep.jobs.queued":   4,
+		"sweep.jobs.executed": 0,
+		"sweep.jobs.deduped":  2,
+		"sweep.jobs.done":     4,
+		"sweep.jobs.cached":   4, // replayed representatives AND their duplicates
+		"sweep.jobs.failed":   0,
+	} {
+		if got := counter(warm, name); got != want {
+			t.Errorf("warm %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestSweepDedupFailureMetrics: when a representative fails, its
+// duplicate slots count as failed too, never as done.
+func TestSweepDedupFailureMetrics(t *testing.T) {
+	base := Job{Name: "a", Exp: "dup", Extra: 7}
+	jobs := []Job{base, base}
+	reg := obs.NewRegistry()
+	res, err := Run(context.Background(), jobs, Options{
+		Workers: 2, Metrics: reg,
+		Run: func(ctx context.Context, j Job) (bench.Result, error) {
+			panic("boom")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		var pe *PanicError
+		if !errors.As(r.Err, &pe) {
+			t.Errorf("job %d: err = %v, want PanicError", i, r.Err)
+		}
+	}
+	if got := counter(reg, "sweep.jobs.failed"); got != 2 {
+		t.Errorf("failed = %v, want 2 (representative + duplicate)", got)
+	}
+	if got := counter(reg, "sweep.jobs.done"); got != 0 {
+		t.Errorf("done = %v, want 0", got)
+	}
+	if got := counter(reg, "sweep.jobs.deduped"); got != 1 {
+		t.Errorf("deduped = %v, want 1", got)
+	}
+}
+
 // TestSweepPanicRecovery: a panicking job surfaces as a PanicError in
 // its slot; the remaining jobs complete normally.
 func TestSweepPanicRecovery(t *testing.T) {

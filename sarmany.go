@@ -20,6 +20,7 @@ import (
 	"sarmany/internal/kernels"
 	"sarmany/internal/mat"
 	"sarmany/internal/obs"
+	"sarmany/internal/profile"
 	"sarmany/internal/quality"
 	"sarmany/internal/rda"
 	"sarmany/internal/refcpu"
@@ -467,3 +468,23 @@ type EnergyBreakdown = energy.Breakdown
 func MeasureEnergy(chip *Epiphany) EnergyBreakdown {
 	return energy.EpiphanyBreakdown(chip.TotalStats(), chip.Time())
 }
+
+// Trace-driven profiling.
+type (
+	// Tracer records per-core span tracks during a simulation; attach one
+	// with Epiphany.SetTracer before running a kernel. Attaching a tracer
+	// never changes modeled time.
+	Tracer = obs.Tracer
+	// RunProfile is the post-hoc analysis of a traced chip run: critical
+	// path with per-cause attribution, per-phase energy rows, roofline
+	// classification, and mesh heatmaps. WriteText and WriteHTML render
+	// it; cmd/sarprof is the CLI front end.
+	RunProfile = profile.Profile
+)
+
+// NewTracer returns a span tracer for a machine clocked at clockHz.
+func NewTracer(clockHz float64) *Tracer { return obs.NewTracer(clockHz) }
+
+// ProfileChip analyzes a completed traced run (the chip must have had a
+// tracer attached before the kernel ran).
+func ProfileChip(chip *Epiphany) (*RunProfile, error) { return profile.AnalyzeChip(chip) }

@@ -1,0 +1,69 @@
+// Benchdiff compares two BENCH_*.json envelopes and exits nonzero when a
+// non-advisory leaf diverges beyond the tolerance — the regression gate
+// `make benchdiff` runs against the committed baselines.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go [-tol 0.02] [-advisory pat,pat,...] baseline.json candidate.json
+//
+// Advisory patterns (path.Match against dotted leaf paths such as
+// "data.seconds_j1") mark wall-clock and host-shape fields that vary
+// between machines: they are printed when they change but never fail the
+// gate. Everything else — modeled cycles, span counts, job counts — is
+// deterministic simulator output and gates at the tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sarmany/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	var (
+		tol      = flag.Float64("tol", 0.02, "relative tolerance for numeric leaves")
+		advisory = flag.String("advisory", "", "comma-separated advisory path patterns (report, don't gate)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: benchdiff [-tol f] [-advisory pats] baseline.json candidate.json")
+	}
+	baseline, candidate := flag.Arg(0), flag.Arg(1)
+
+	oldDoc, err := os.ReadFile(baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newDoc, err := os.ReadFile(candidate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := bench.DiffOptions{Tolerance: *tol}
+	if *advisory != "" {
+		for _, p := range strings.Split(*advisory, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opt.Advisory = append(opt.Advisory, p)
+			}
+		}
+	}
+
+	findings, err := bench.DiffEnvelopes(oldDoc, newDoc, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+	if n := bench.Regressions(findings); n > 0 {
+		log.Fatalf("%s vs %s: %d regression(s) beyond %.0f%% tolerance", baseline, candidate, n, *tol*100)
+	}
+	fmt.Printf("benchdiff: %s vs %s: ok (%d advisory)\n", baseline, candidate, len(findings))
+}
