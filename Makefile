@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench sweepbench profbench benchdiff baseline docscheck clean
+.PHONY: all check fmt vet build test race bench conform conformguard sweepbench profbench benchdiff baseline docscheck clean
 
 all: check
 
 # check runs the full verification gate: formatting, static analysis,
-# build, package-doc coverage, the race-enabled test suite, the sweep and
-# profiler throughput measurements, and the benchmark regression diff
-# against the committed baselines.
-check: fmt vet build docscheck race sweepbench profbench benchdiff
+# build, package-doc coverage, the race-enabled test suite, the simulator
+# conformance suite, the emu-coverage guard, the sweep and profiler
+# throughput measurements, and the benchmark regression diff against the
+# committed baselines.
+check: fmt vet build docscheck race conform conformguard sweepbench profbench benchdiff
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -28,6 +29,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# conform runs the simulator conformance harness under the race detector:
+# the invariant checker over real kernel runs, the analytic differential
+# microbenchmarks (exact closed-form cycle counts), and the seeded
+# random-program determinism suite.
+conform:
+	$(GO) test -race -count=1 ./internal/conform
+
+# conformguard fails when emulator model code changes without a
+# conformance or emu test riding along (range: CONFORM_RANGE, default
+# HEAD~1..HEAD).
+conformguard:
+	./scripts/checkconform.sh
 
 # sweepbench exercises the concurrent sweep engine under the race
 # detector and records its throughput as out/BENCH_sweep.json.

@@ -16,6 +16,7 @@
 //	epirun -trace out.json                  # Perfetto/Chrome trace of the run
 //	epirun -metrics metrics.json            # metrics-registry snapshot
 //	epirun -json                            # machine-readable summary on stdout
+//	epirun -check                           # verify run invariants afterwards
 //
 // A -trace file loads in ui.perfetto.dev or chrome://tracing: one thread
 // per core with compute and stall spans, plus a phase track for SPMD
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"sarmany/internal/autofocus"
+	"sarmany/internal/conform"
 	"sarmany/internal/emu"
 	"sarmany/internal/energy"
 	"sarmany/internal/kernels"
@@ -68,6 +70,7 @@ func main() {
 		traceN  = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track (oldest dropped beyond)")
 		metricF = flag.String("metrics", "", "write a metrics-registry snapshot JSON file")
 		jsonOut = flag.Bool("json", false, "print a machine-readable summary instead of tables")
+		check   = flag.Bool("check", false, "run the conformance checker on the completed run (Epiphany kernels)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,9 @@ func main() {
 
 	switch *kernel {
 	case "ffbp-intel", "af-intel":
+		if *check {
+			log.Fatal("-check verifies the Epiphany model; it does not apply to the Intel reference kernels")
+		}
 		cpu := refcpu.New(cfg.Intel)
 		var tracer *obs.Tracer
 		if *traceF != "" {
@@ -163,6 +169,13 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	if *check {
+		if rep := conform.CheckAll(ch); !rep.OK() {
+			log.Fatal(rep.Err())
+		}
+		fmt.Fprintln(os.Stderr, "epirun: conformance check passed")
 	}
 
 	writeTrace(*traceF, tracer)

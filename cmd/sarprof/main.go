@@ -14,6 +14,7 @@
 //	sarprof -html profile.html                # self-contained HTML report
 //	sarprof -json profile.json                # machine-readable profile
 //	sarprof -tracecap 262144                  # larger span rings
+//	sarprof -check                            # verify run invariants first
 //
 // The text report always goes to stdout. Only Epiphany kernels can be
 // profiled: the analyzer consumes the chip's span tracks, dependency
@@ -29,6 +30,7 @@ import (
 	"os"
 
 	"sarmany/internal/autofocus"
+	"sarmany/internal/conform"
 	"sarmany/internal/emu"
 	"sarmany/internal/kernels"
 	"sarmany/internal/obs"
@@ -49,6 +51,7 @@ func main() {
 		traceN = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track")
 		htmlF  = flag.String("html", "", "also write a self-contained HTML report")
 		jsonF  = flag.String("json", "", "also write the profile as JSON")
+		check  = flag.Bool("check", false, "run the conformance checker on the completed run")
 	)
 	flag.Parse()
 
@@ -91,6 +94,13 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown kernel %q (sarprof profiles Epiphany kernels only)", *kernel)
+	}
+
+	if *check {
+		if rep := conform.CheckAll(ch); !rep.OK() {
+			log.Fatal(rep.Err())
+		}
+		fmt.Fprintln(os.Stderr, "sarprof: conformance check passed")
 	}
 
 	p, err := profile.AnalyzeChip(ch)

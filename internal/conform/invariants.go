@@ -1,0 +1,211 @@
+package conform
+
+import (
+	"math"
+
+	"sarmany/internal/emu"
+)
+
+// checkCores verifies, for every core the aggregate views cover, the
+// cycle identity (committed compute plus stall cycles reproduce the
+// core's clock), the per-cause stall breakdown, and non-negativity of
+// every cycle quantity.
+func checkCores(rep *Report, ch *emu.Chip) {
+	rep.Checked++
+	n := ch.ActiveCount()
+	for i := 0; i < n; i++ {
+		c := ch.Cores[i]
+		s := &c.Stats
+		cy := c.Cycles()
+		if cy < 0 {
+			rep.fail("core.nonnegative", "core %d clock at %v cycles", c.ID, cy)
+		}
+		for _, q := range []struct {
+			name string
+			v    float64
+		}{
+			{"compute", s.ComputeCycles}, {"stall", s.StallCycles},
+			{"stall.read", s.ReadStallCycles}, {"stall.ext", s.ExtStallCycles},
+			{"stall.dma", s.DMAStallCycles}, {"stall.link", s.LinkStallCycles},
+			{"stall.barrier", s.BarrierStallCycles},
+		} {
+			if q.v < 0 || math.IsNaN(q.v) || math.IsInf(q.v, 0) {
+				rep.fail("core.nonnegative", "core %d %s = %v cycles", c.ID, q.name, q.v)
+			}
+		}
+		if got := s.ComputeCycles + s.StallCycles; !closeCycles(got, cy) {
+			rep.fail("core.cycle-identity",
+				"core %d: compute %v + stall %v = %v cycles, clock at %v",
+				c.ID, s.ComputeCycles, s.StallCycles, got, cy)
+		}
+		causes := s.ReadStallCycles + s.ExtStallCycles + s.DMAStallCycles +
+			s.LinkStallCycles + s.BarrierStallCycles
+		if !closeCycles(causes, s.StallCycles) {
+			rep.fail("core.stall-breakdown",
+				"core %d: per-cause stalls sum to %v cycles, StallCycles = %v",
+				c.ID, causes, s.StallCycles)
+		}
+	}
+}
+
+// checkPhases verifies the barrier-phase trace: records tile the run from
+// cycle zero with monotone non-overlapping spans, each barrier resolves
+// at the later of the slowest core and the off-chip channel drain, the
+// bound classification matches, and the channel is drained by the time
+// every barrier completes.
+func checkPhases(rep *Report, ch *emu.Chip) {
+	phases := ch.Phases()
+	if len(phases) == 0 {
+		return
+	}
+	rep.Checked++
+	end := ch.MaxCycles()
+	if p := phases[0]; !closeCycles(p.Start, 0) {
+		rep.fail("phase.tiling", "phase 0 starts at %v, not 0", p.Start)
+	}
+	prevEnd := 0.0
+	for i, p := range phases {
+		if p.End < p.Start-cycleEps {
+			rep.fail("phase.tiling", "phase %d runs backward: [%v, %v]", i, p.Start, p.End)
+		}
+		if i > 0 && !closeCycles(p.Start, prevEnd) {
+			rep.fail("phase.tiling",
+				"phase %d starts at %v, previous phase ended at %v (gap or overlap)",
+				i, p.Start, prevEnd)
+		}
+		prevEnd = p.End
+		if p.SlowestCore < p.Start-cycleEps || p.SlowestCore > p.End+cycleEps {
+			rep.fail("phase.resolution",
+				"phase %d slowest-core time %v outside [%v, %v]",
+				i, p.SlowestCore, p.Start, p.End)
+		}
+		if p.ExtBusy < 0 {
+			rep.fail("phase.resolution", "phase %d negative ext busy %v", i, p.ExtBusy)
+		}
+		drain := p.Start + p.ExtBusy
+		want := p.SlowestCore
+		if drain > want {
+			want = drain
+		}
+		if !closeCycles(p.End, want) {
+			rep.fail("phase.resolution",
+				"phase %d ends at %v, want max(slowest %v, drain %v) = %v",
+				i, p.End, p.SlowestCore, drain, want)
+		}
+		if p.BandwidthBound && drain < p.SlowestCore-cycleEps {
+			rep.fail("phase.resolution",
+				"phase %d marked bandwidth-bound but drain %v precedes slowest core %v",
+				i, drain, p.SlowestCore)
+		}
+		if !p.BandwidthBound && drain > p.SlowestCore+cycleEps {
+			rep.fail("phase.resolution",
+				"phase %d marked compute-bound but drain %v exceeds slowest core %v",
+				i, drain, p.SlowestCore)
+		}
+		// Drained at every barrier: the phase cannot end with off-chip
+		// service time still owed beyond its own span.
+		if p.ExtBusy > p.End-p.Start+cycleEps {
+			rep.fail("phase.ext-drain",
+				"phase %d consumed %v service cycles in a %v-cycle span",
+				i, p.ExtBusy, p.End-p.Start)
+		}
+	}
+	if prevEnd > end+tolAt(end) {
+		rep.fail("phase.tiling", "last phase ends at %v, beyond the run end %v", prevEnd, end)
+	}
+}
+
+// tolAt is approx's acceptance width at a given scale.
+func tolAt(scale float64) float64 {
+	if scale < 0 {
+		scale = -scale
+	}
+	return cycleEps + 1e-9*scale
+}
+
+// checkPhaseStats reconciles the per-phase statistics deltas with the
+// run totals: every field of every delta must be a genuine non-negative
+// increment, and the deltas must sum to at most the totals (the residual
+// is the post-final-barrier tail internal/profile accounts separately).
+func checkPhaseStats(rep *Report, ch *emu.Chip) {
+	phases := ch.Phases()
+	if len(phases) == 0 {
+		return
+	}
+	rep.Checked++
+	sums := map[string]float64{}
+	for i, p := range phases {
+		emu.VisitStats(p.Stats, func(name string, v float64) {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				rep.fail("phase.stats-reconcile", "phase %d delta %s = %v", i, name, v)
+			}
+			sums[name] += v
+		})
+	}
+	emu.VisitStats(ch.TotalStats(), func(name string, total float64) {
+		if sum := sums[name]; sum > total+tolAt(total) {
+			rep.fail("phase.stats-reconcile",
+				"%s: phase deltas sum to %v, exceeding run total %v (wrapped or double-counted delta)",
+				name, sum, total)
+		}
+	})
+}
+
+// checkLinks verifies streaming-link balance: the consumer received every
+// block the producer sent, and both sides agree on the bytes moved.
+func checkLinks(rep *Report, ch *emu.Chip) {
+	links := ch.LinkStats()
+	if len(links) == 0 {
+		return
+	}
+	rep.Checked++
+	for _, l := range links {
+		if l.Blocks != l.Recvs {
+			rep.fail("link.balance",
+				"link %d->%d: %d blocks sent, %d received", l.From, l.To, l.Blocks, l.Recvs)
+		}
+		if l.Bytes != l.RecvBytes {
+			rep.fail("link.balance",
+				"link %d->%d: %d bytes sent, %d received", l.From, l.To, l.Bytes, l.RecvBytes)
+		}
+	}
+}
+
+// checkTrace verifies, when the run was traced, that every core's span
+// stream is chronological and non-overlapping within [0, Cycles()] —
+// the observable form of "core clocks never move backward".
+func checkTrace(rep *Report, ch *emu.Chip) {
+	if ch.Tracer() == nil {
+		return
+	}
+	rep.Checked++
+	n := ch.ActiveCount()
+	for i := 0; i < n; i++ {
+		tk := ch.CoreTrack(i)
+		if tk == nil {
+			continue
+		}
+		cy := ch.Cores[i].Cycles()
+		prevEnd := 0.0
+		for j, s := range tk.Spans() {
+			if s.End <= s.Start {
+				rep.fail("trace.monotone",
+					"core %d span %d (%s) runs backward: [%v, %v]", i, j, s.Kind, s.Start, s.End)
+			}
+			if s.Start < -cycleEps {
+				rep.fail("trace.monotone",
+					"core %d span %d (%s) starts before cycle 0 at %v", i, j, s.Kind, s.Start)
+			}
+			if s.Start < prevEnd-cycleEps {
+				rep.fail("trace.monotone",
+					"core %d span %d (%s) starts at %v, before the previous span ended at %v (clock moved backward)",
+					i, j, s.Kind, s.Start, prevEnd)
+			}
+			prevEnd = s.End
+		}
+		if prevEnd > cy+tolAt(cy) {
+			rep.fail("trace.monotone",
+				"core %d spans extend to %v, beyond its clock at %v", i, prevEnd, cy)
+		}
+	}
+}

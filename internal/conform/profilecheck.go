@@ -1,0 +1,119 @@
+package conform
+
+import (
+	"sarmany/internal/profile"
+)
+
+// CheckProfile verifies the structural invariants of a trace analysis:
+// the critical path's segments are a chronological partition of
+// [0, RunCycles] whose per-cause totals reconcile, and the per-phase
+// energy rows tile the run and sum to the whole-run energy estimate
+// exactly (the power model is linear, so any gap is an accounting bug in
+// the attribution, not rounding).
+func CheckProfile(p *profile.Profile) *Report {
+	rep := &Report{}
+	checkSegments(rep, p)
+	checkEnergyRows(rep, p)
+	return rep
+}
+
+// checkSegments verifies the critical-path partition and its per-cause
+// accounting.
+func checkSegments(rep *Report, p *profile.Profile) {
+	rep.Checked++
+	segs := p.Critical.Segments
+	if len(segs) == 0 {
+		if p.RunCycles > cycleEps {
+			rep.fail("profile.segments", "no segments for a %v-cycle run", p.RunCycles)
+		}
+		return
+	}
+	if s := segs[0]; !closeCycles(s.Start, 0) {
+		rep.fail("profile.segments", "first segment starts at %v, not 0", s.Start)
+	}
+	prevEnd := 0.0
+	byCause := map[string]float64{}
+	for i, s := range segs {
+		if s.End < s.Start-cycleEps {
+			rep.fail("profile.segments", "segment %d runs backward: [%v, %v]", i, s.Start, s.End)
+		}
+		if i > 0 && !closeCycles(s.Start, prevEnd) {
+			rep.fail("profile.segments",
+				"segment %d starts at %v, previous ended at %v (gap or overlap)",
+				i, s.Start, prevEnd)
+		}
+		prevEnd = s.End
+		byCause[s.Cause] += s.End - s.Start
+	}
+	if !closeCycles(prevEnd, p.RunCycles) {
+		rep.fail("profile.segments",
+			"segments end at %v, run is %v cycles — the path must partition the run",
+			prevEnd, p.RunCycles)
+	}
+	for cause, want := range byCause {
+		if got := p.Critical.ByCause[cause]; !closeCycles(got, want) {
+			rep.fail("profile.by-cause",
+				"cause %q: ByCause records %v cycles, segments sum to %v", cause, got, want)
+		}
+	}
+	for cause, got := range p.Critical.ByCause {
+		if _, ok := byCause[cause]; !ok && got > cycleEps {
+			rep.fail("profile.by-cause", "cause %q has %v cycles but no segment", cause, got)
+		}
+	}
+	if !closeCycles(p.Critical.Cycles(), p.RunCycles) {
+		rep.fail("profile.by-cause",
+			"per-cause totals sum to %v cycles, run is %v", p.Critical.Cycles(), p.RunCycles)
+	}
+}
+
+// energyEps absorbs float rounding in joule comparisons (runs are in the
+// microjoule-to-joule range; approx adds a 1e-9 relative term).
+const energyEps = 1e-15
+
+// checkEnergyRows verifies that the per-phase energy rows tile
+// [0, RunCycles] and sum component-wise to the whole-run breakdown.
+func checkEnergyRows(rep *Report, p *profile.Profile) {
+	rep.Checked++
+	rows := p.Phases
+	if len(rows) == 0 {
+		if p.RunCycles > cycleEps {
+			rep.fail("profile.phase-rows", "no phase rows for a %v-cycle run", p.RunCycles)
+		}
+		return
+	}
+	if r := rows[0]; !closeCycles(r.Start, 0) {
+		rep.fail("profile.phase-rows", "first row starts at %v, not 0", r.Start)
+	}
+	prevEnd := 0.0
+	for i, r := range rows {
+		if r.End < r.Start-cycleEps {
+			rep.fail("profile.phase-rows", "row %d runs backward: [%v, %v]", i, r.Start, r.End)
+		}
+		if i > 0 && !closeCycles(r.Start, prevEnd) {
+			rep.fail("profile.phase-rows",
+				"row %d starts at %v, previous ended at %v (gap or overlap)", i, r.Start, prevEnd)
+		}
+		prevEnd = r.End
+	}
+	if !closeCycles(prevEnd, p.RunCycles) {
+		rep.fail("profile.phase-rows",
+			"rows end at %v, run is %v cycles — the rows must tile the run", prevEnd, p.RunCycles)
+	}
+	sum := profile.SumEnergy(rows)
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"compute", sum.ComputeJ, p.TotalEnergy.ComputeJ},
+		{"local-mem", sum.LocalMemJ, p.TotalEnergy.LocalMemJ},
+		{"noc", sum.NoCJ, p.TotalEnergy.NoCJ},
+		{"elink", sum.ELinkJ, p.TotalEnergy.ELinkJ},
+		{"static", sum.StaticJ, p.TotalEnergy.StaticJ},
+	} {
+		if !approx(c.got, c.want, energyEps) {
+			rep.fail("profile.energy-sum",
+				"%s: phase rows sum to %v J, whole-run estimate is %v J", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package emu
+
+import (
+	"testing"
+
+	"sarmany/internal/machine"
+)
+
+// mustBuf allocates or fails the test.
+func mustBuf(t *testing.T, a machine.Alloc, n int) *machine.BufC {
+	t.Helper()
+	b, err := machine.NewBufC(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDMAExtWriteIsPosted pins the accounting of an external-write DMA:
+// a local→SDRAM descriptor is a posted write, so it streams at channel
+// bandwidth with NO read round-trip latency, and it must land in the
+// write counters, not the read ones. (Regression: ext DMA writes were
+// charged ExtReadLatency and booked as ExtReads/ExtReadB.)
+func TestDMAExtWriteIsPosted(t *testing.T) {
+	const elems = 128 // 1024 bytes
+	p := E16G3()
+	ch := New(p)
+	c := ch.Cores[0]
+	local := mustBuf(t, c.Bank(2), elems)
+	ext := mustBuf(t, ch.Ext(), elems)
+
+	c.DMAWait(c.DMACopyC(ext, 0, local, 0, elems))
+
+	want := p.DMASetupCycles + 8*elems/p.ExtBytesPerCycle // 40 + 1024
+	if got := c.Cycles(); got != want {
+		t.Errorf("posted ext-write DMA took %v cycles, want %v (no read latency)", got, want)
+	}
+	s := c.Stats
+	if s.ExtWrites != 1 || s.ExtWriteB != 8*elems {
+		t.Errorf("ext writes %d/%dB, want 1/%dB", s.ExtWrites, s.ExtWriteB, 8*elems)
+	}
+	if s.ExtReads != 0 || s.ExtReadB != 0 {
+		t.Errorf("ext reads %d/%dB, want none — this is a write", s.ExtReads, s.ExtReadB)
+	}
+	if s.DMATransfers != 1 || s.DMABytes != 8*elems {
+		t.Errorf("dma %d/%dB, want 1/%dB", s.DMATransfers, s.DMABytes, 8*elems)
+	}
+	// The write still owes the shared channel its service time: the next
+	// barrier must drain it.
+	if c.extBusy != 8*elems/p.ExtBytesPerCycle {
+		t.Errorf("extBusy %v, want %v", c.extBusy, 8*elems/p.ExtBytesPerCycle)
+	}
+}
+
+// TestDMAExtReadUnchanged pins the read direction alongside the write
+// fix: SDRAM→local keeps the full round-trip latency and read counters.
+func TestDMAExtReadUnchanged(t *testing.T) {
+	const elems = 128
+	p := E16G3()
+	ch := New(p)
+	c := ch.Cores[0]
+	local := mustBuf(t, c.Bank(2), elems)
+	ext := mustBuf(t, ch.Ext(), elems)
+
+	c.DMAWait(c.DMACopyC(local, 0, ext, 0, elems))
+
+	want := p.DMASetupCycles + p.ExtReadLatency + 8*elems/p.ExtBytesPerCycle
+	if got := c.Cycles(); got != want {
+		t.Errorf("ext-read DMA took %v cycles, want %v", got, want)
+	}
+	s := c.Stats
+	if s.ExtReads != 1 || s.ExtReadB != 8*elems {
+		t.Errorf("ext reads %d/%dB, want 1/%dB", s.ExtReads, s.ExtReadB, 8*elems)
+	}
+	if s.ExtWrites != 0 || s.ExtWriteB != 0 {
+		t.Errorf("ext writes %d/%dB, want none", s.ExtWrites, s.ExtWriteB)
+	}
+}
+
+// TestDMAInterCorePricesDistance pins the mesh-hop term of inter-core
+// DMA: a transfer to the far corner of the 4x4 mesh costs six hops'
+// round trip more than a neighbour transfer of the same size.
+// (Regression: inter-core DMA ignored mesh distance entirely.)
+func TestDMAInterCorePricesDistance(t *testing.T) {
+	const elems = 64 // 512 bytes
+	p := E16G3()
+	run := func(peer int) (float64, CoreStats) {
+		ch := New(p)
+		c := ch.Cores[0]
+		local := mustBuf(t, c.Bank(2), elems)
+		far := mustBuf(t, ch.Cores[peer].Bank(0), elems)
+		c.DMAWait(c.DMACopyC(local, 0, far, 0, elems))
+		return c.Cycles(), c.Stats
+	}
+
+	base := p.DMASetupCycles + p.RemoteReadBase + 8*elems/p.DMABytesPerCycle
+	nearCy, nearSt := run(1) // (0,0)->(0,1): 1 hop
+	if want := base + 2*1*p.RemoteHopCycles; nearCy != want {
+		t.Errorf("1-hop DMA took %v cycles, want %v", nearCy, want)
+	}
+	farCy, farSt := run(15) // (0,0)->(3,3): 6 hops
+	if want := base + 2*6*p.RemoteHopCycles; farCy != want {
+		t.Errorf("6-hop DMA took %v cycles, want %v", farCy, want)
+	}
+	if farCy <= nearCy {
+		t.Errorf("distance is free: far %v <= near %v cycles", farCy, nearCy)
+	}
+	for _, s := range []CoreStats{nearSt, farSt} {
+		if s.NoCBytes != 8*elems {
+			t.Errorf("NoCBytes %d, want %d (mesh traffic must be booked)", s.NoCBytes, 8*elems)
+		}
+		if s.ExtReads != 0 || s.ExtWrites != 0 {
+			t.Errorf("inter-core DMA booked ext traffic: %d reads, %d writes", s.ExtReads, s.ExtWrites)
+		}
+	}
+}
+
+// TestMeshDist pins the XY-route distance helper on the E16G3 map.
+func TestMeshDist(t *testing.T) {
+	ch := New(E16G3())
+	for _, tc := range []struct {
+		a, b int
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 15, 6}, {3, 12, 6}, {5, 10, 2},
+	} {
+		ba := mustBuf(t, ch.Cores[tc.a].Bank(0), 1)
+		bb := mustBuf(t, ch.Cores[tc.b].Bank(0), 1)
+		if got := meshDist(ba.Addr, bb.Addr); got != tc.want {
+			t.Errorf("meshDist(core%d, core%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestLinkRecvChargesLocalReads pins the consumer-side accounting of a
+// streaming-link receive: reading a w-word block out of the local
+// mailbox costs w*LocalAccessCycles and books w LocalLoads — the same
+// convention as Load. (Regression: Recv charged a flat 2 cycles per
+// word-batch regardless of LocalAccessCycles and booked a single
+// LocalLoads per block.)
+func TestLinkRecvChargesLocalReads(t *testing.T) {
+	const w = 16 // words per block
+	run := func(lac float64) (recvLoads uint64, consumerCycles float64) {
+		p := E16G3()
+		p.LocalAccessCycles = lac
+		ch := New(p)
+		l := ch.Connect(0, 1, 1)
+		ch.Run(2, func(c *Core) {
+			if c.ID == 0 {
+				l.Send(c, make([]complex64, w))
+			} else {
+				l.Recv(c)
+			}
+		})
+		return ch.Cores[1].Stats.LocalLoads, ch.Cores[1].Cycles()
+	}
+
+	loads1, cy1 := run(1)
+	if loads1 != w {
+		t.Errorf("receive of a %d-word block booked %d LocalLoads, want %d", w, loads1, w)
+	}
+	loads2, cy2 := run(2)
+	if loads2 != w {
+		t.Errorf("LocalLoads %d under LAC=2, want %d (count is per word, not per cycle)", loads2, w)
+	}
+	// Doubling the local access cost adds exactly w cycles to the consumer.
+	if got, want := cy2-cy1, float64(w); got != want {
+		t.Errorf("LAC 1->2 changed consumer clock by %v cycles, want %v "+
+			"(Recv must price the local read at LocalAccessCycles)", got, want)
+	}
+}
+
+// TestLinkStatsBalance pins the producer/consumer byte accounting the
+// conformance checker's link.balance invariant relies on.
+func TestLinkStatsBalance(t *testing.T) {
+	const blocks, w = 5, 8
+	ch := New(E16G3())
+	l := ch.Connect(0, 1, 2)
+	ch.Run(2, func(c *Core) {
+		for i := 0; i < blocks; i++ {
+			if c.ID == 0 {
+				l.Send(c, make([]complex64, w))
+			} else {
+				l.Recv(c)
+			}
+		}
+	})
+	ls := ch.LinkStats()
+	if len(ls) != 1 {
+		t.Fatalf("%d link stats", len(ls))
+	}
+	s := ls[0]
+	if s.Blocks != blocks || s.Recvs != blocks {
+		t.Errorf("blocks sent %d / received %d, want %d each", s.Blocks, s.Recvs, blocks)
+	}
+	if s.Bytes != 8*w*blocks || s.RecvBytes != 8*w*blocks {
+		t.Errorf("bytes sent %d / received %d, want %d each", s.Bytes, s.RecvBytes, 8*w*blocks)
+	}
+}

@@ -138,6 +138,18 @@ func (ch *Chip) Run(n int, fn func(c *Core)) {
 	}
 }
 
+// Settle commits every core's pending dual-issue window so each core's
+// Cycles() and Stats agree exactly. Run settles the cores it drove on
+// return; Settle additionally covers kernels that drive cores directly
+// (and is what the conformance checker calls before verifying the
+// compute+stall cycle identity). Call only while no simulation goroutines
+// are running.
+func (ch *Chip) Settle() {
+	for _, c := range ch.Cores {
+		c.commit()
+	}
+}
+
 // resolvePhase settles off-chip bandwidth contention for the phase that
 // just ended: the barrier completes either when the slowest core finishes
 // or when the shared off-chip channel has drained all traffic offered
@@ -203,13 +215,18 @@ func (ch *Chip) PhaseTrack() *obs.Track { return ch.phaseTrack }
 // LinkStat is the read-side view of one streaming link's occupancy after
 // a run completes.
 type LinkStat struct {
-	From     int     `json:"from"`
-	To       int     `json:"to"`
-	Hops     int     `json:"hops"`
-	Blocks   uint64  `json:"blocks"`
-	Bytes    uint64  `json:"bytes"`
-	SendWait float64 `json:"send_wait_cycles"` // producer back-pressure
-	RecvWait float64 `json:"recv_wait_cycles"` // consumer empty-buffer waits
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Hops   int    `json:"hops"`
+	Blocks uint64 `json:"blocks"`
+	Bytes  uint64 `json:"bytes"`
+	// Recvs and RecvBytes are the consumer-side counts; a balanced run
+	// drains every link, so they match Blocks and Bytes (the conformance
+	// checker verifies exactly that).
+	Recvs     uint64  `json:"recvs"`
+	RecvBytes uint64  `json:"recv_bytes"`
+	SendWait  float64 `json:"send_wait_cycles"` // producer back-pressure
+	RecvWait  float64 `json:"recv_wait_cycles"` // consumer empty-buffer waits
 }
 
 // LinkStats returns the occupancy of every link Connect has created, in
@@ -220,6 +237,7 @@ func (ch *Chip) LinkStats() []LinkStat {
 		out = append(out, LinkStat{
 			From: l.from.ID, To: l.to.ID, Hops: l.hops,
 			Blocks: l.sends, Bytes: l.bytes,
+			Recvs: l.recvs, RecvBytes: l.recvBytes,
 			SendWait: l.sendStall, RecvWait: l.recvStall,
 		})
 	}
@@ -269,10 +287,11 @@ type Link struct {
 	hops     int
 
 	// Occupancy statistics. sends/bytes/sendStall are written only by the
-	// producer core's goroutine, recvs/recvStall only by the consumer's;
-	// read them after the Run completes.
+	// producer core's goroutine, recvs/recvBytes/recvStall only by the
+	// consumer's; read them after the Run completes.
 	sends, recvs uint64
 	bytes        uint64
+	recvBytes    uint64
 	sendStall    float64 // producer cycles lost to back-pressure
 	recvStall    float64 // consumer cycles waiting for a block
 }
@@ -344,8 +363,14 @@ func (l *Link) Recv(c *Core) []complex64 {
 		l.recvStall += c.now - before
 	}
 	l.recvs++
-	// Local reads of the delivered block.
-	c.ialu += words(len(v) * 8)
-	c.Stats.LocalLoads++
+	n := len(v) * 8
+	l.recvBytes += uint64(n)
+	// Local reads of the delivered block: the consumer loads one double
+	// word per access at the configured local-access cost, counted per
+	// access — the same price and convention Load charges a kernel reading
+	// the block element-wise.
+	nw := (n + 7) / 8
+	c.ialu += float64(nw) * c.chip.P.LocalAccessCycles
+	c.Stats.LocalLoads += uint64(nw)
 	return v
 }

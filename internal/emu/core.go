@@ -211,15 +211,29 @@ const (
 	locExt
 )
 
+// tileOf returns the mesh coordinates encoded in a core-mapped global
+// address (not validated against the configured mesh).
+func tileOf(addr uint32) (row, col int) {
+	id := addr >> 20
+	return int(id>>6) - firstMeshRow, int(id&0x3f) - firstMeshCol
+}
+
+// meshDist returns the Manhattan distance between the tiles of two
+// core-mapped addresses — the XY-route hop count a transfer between them
+// traverses. Both addresses must be core-mapped (not external).
+func meshDist(a, b uint32) int {
+	ar, ac := tileOf(a)
+	br, bc := tileOf(b)
+	return abs(ar-br) + abs(ac-bc)
+}
+
 // classify maps a global address to local / remote-core / external, and
 // for remote addresses returns the Manhattan hop count of the XY route.
 func (c *Core) classify(addr uint32) (location, int) {
 	if addr >= ExtBase && addr < ExtBase+ExtSize {
 		return locExt, 0
 	}
-	id := addr >> 20
-	row := int(id>>6) - firstMeshRow
-	col := int(id&0x3f) - firstMeshCol
+	row, col := tileOf(addr)
 	if row < 0 || row >= c.chip.P.Rows || col < 0 || col >= c.chip.P.Cols {
 		panic(fmt.Sprintf("emu: address %#x maps to no core or external region", addr))
 	}
@@ -254,11 +268,18 @@ type DMA struct {
 	done float64
 }
 
-// dmaStart computes the timing of a DMA transfer of n bytes whose
-// source/destination classification is ext (true if either side is
-// external memory). The engine processes one descriptor at a time, so a
-// new transfer starts after the previous one completes.
-func (c *Core) dmaStart(n int, ext bool) DMA {
+// dmaStart computes the timing of a DMA transfer of n bytes. extRead and
+// extWrite say whether the source and destination, respectively, are in
+// external memory; hops is the XY-route Manhattan distance between the
+// two tiles of an on-chip transfer. The engine processes one descriptor
+// at a time, so a new transfer starts after the previous one completes.
+//
+// Off-chip transfers keep the read/write asymmetry the paper highlights:
+// a read burst pays the eLink+SDRAM round-trip latency before the bytes
+// stream back, while a write burst is posted — the engine only streams
+// the bytes out, and the consumed channel bandwidth is settled at the
+// next barrier by the contention model.
+func (c *Core) dmaStart(n int, extRead, extWrite bool, hops int) DMA {
 	c.ialu += c.chip.P.DMASetupCycles
 	c.commit()
 	start := c.now
@@ -267,12 +288,18 @@ func (c *Core) dmaStart(n int, ext bool) DMA {
 	}
 	p := &c.chip.P
 	var dur float64
-	if ext {
+	if extRead || extWrite {
 		service := float64(n) / p.ExtBytesPerCycle
-		dur = p.ExtReadLatency + service
-		c.extBusy += service
+		if extRead {
+			dur += p.ExtReadLatency + service
+			c.extBusy += service
+		}
+		if extWrite {
+			dur += service
+			c.extBusy += service
+		}
 	} else {
-		dur = p.RemoteReadBase + float64(n)/p.DMABytesPerCycle
+		dur = p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles + float64(n)/p.DMABytesPerCycle
 		c.Stats.NoCBytes += uint64(n)
 	}
 	c.dmaLast = start + dur
@@ -287,16 +314,21 @@ func (c *Core) dmaStart(n int, ext bool) DMA {
 // — the same discipline real DMA requires.
 func (c *Core) DMACopyC(dst *machine.BufC, do int, src *machine.BufC, so, n int) DMA {
 	copy(dst.Data[do:do+n], src.Data[so:so+n])
-	ext := isExt(dst.ElemAddr(do)) || isExt(src.ElemAddr(so))
-	if ext {
+	srcAddr, dstAddr := src.ElemAddr(so), dst.ElemAddr(do)
+	extRead, extWrite := isExt(srcAddr), isExt(dstAddr)
+	if extRead {
 		c.Stats.ExtReads++ // one burst transaction
-		if isExt(src.ElemAddr(so)) {
-			c.Stats.ExtReadB += uint64(8 * n)
-		} else {
-			c.Stats.ExtWriteB += uint64(8 * n)
-		}
+		c.Stats.ExtReadB += uint64(8 * n)
 	}
-	return c.dmaStart(8*n, ext)
+	if extWrite {
+		c.Stats.ExtWrites++ // one posted burst
+		c.Stats.ExtWriteB += uint64(8 * n)
+	}
+	hops := 0
+	if !extRead && !extWrite {
+		hops = meshDist(srcAddr, dstAddr)
+	}
+	return c.dmaStart(8*n, extRead, extWrite, hops)
 }
 
 // DMAWait blocks (in simulated time) until transfer d has completed.

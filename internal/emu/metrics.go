@@ -42,6 +42,18 @@ var coreStatFields = []struct {
 	{"cycles.stall.barrier", func(s *CoreStats) float64 { return s.BarrierStallCycles }, func(s *CoreStats, v float64) { s.BarrierStallCycles = v }},
 }
 
+// VisitStats calls fn for every published statistic of s with its metric
+// name (e.g. "mem.local_loads"), in the metric table's order. It exposes
+// the same single-source field list Metrics, AddStats and SubStats use,
+// so external consumers — the conformance checker reconciling per-phase
+// deltas against totals — iterate the full struct without maintaining a
+// field list that could drift.
+func VisitStats(s CoreStats, fn func(name string, value float64)) {
+	for _, f := range coreStatFields {
+		fn(f.name, f.get(&s))
+	}
+}
+
 // AddStats returns the field-wise sum a+b over every published statistic,
 // using the same field table as Metrics so new counters cannot be missed.
 func AddStats(a, b CoreStats) CoreStats {

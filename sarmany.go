@@ -9,6 +9,7 @@ import (
 
 	"sarmany/internal/autofocus"
 	"sarmany/internal/bench"
+	"sarmany/internal/conform"
 	"sarmany/internal/emu"
 	"sarmany/internal/energy"
 	"sarmany/internal/ffbp"
@@ -306,6 +307,15 @@ func EpiphanySeqAutofocus(chip *Epiphany, pairs []BlockPair, shifts []Shift) ([]
 func ReferenceAutofocus(cpu *ReferenceCPU, pairs []BlockPair, shifts []Shift) ([][]float64, error) {
 	return kernels.SeqAutofocus(cpu, cpu.Mem(), pairs, shifts)
 }
+
+// CheckChip verifies the structural invariants of a completed chip run —
+// cycle identities, stall breakdowns, phase tiling and barrier
+// resolution, link balance, off-chip channel drain, trace monotonicity,
+// and (when the chip was traced) the profiler's critical-path and energy
+// accounting. It returns nil when every invariant holds and an error
+// naming each violation otherwise. Call it after any Epiphany* run, never
+// concurrently with one.
+func CheckChip(chip *Epiphany) error { return conform.CheckAll(chip).Err() }
 
 // Evaluation harness.
 type (

@@ -1,0 +1,34 @@
+#!/bin/sh
+# checkconform guards the emulator's conformance coverage: a commit range
+# that changes internal/emu model code must also touch a conformance or
+# emu test, so accounting changes always land with a test that pins them.
+# Run via `make conformguard`; part of `make check`.
+#
+# The range defaults to the last commit (HEAD~1..HEAD); override with
+# CONFORM_RANGE, e.g. CONFORM_RANGE=origin/main..HEAD for a whole branch.
+set -eu
+cd "$(dirname "$0")/.."
+
+range="${CONFORM_RANGE:-HEAD~1..HEAD}"
+if ! changed=$(git diff --name-only "$range" -- 2>/dev/null); then
+	# Unborn or single-commit history: nothing to compare against.
+	echo "checkconform: no commit range to inspect ($range); skipping"
+	exit 0
+fi
+
+model=$(echo "$changed" | grep '^internal/emu/' | grep -v '_test\.go$' || true)
+if [ -z "$model" ]; then
+	echo "checkconform: no emulator model changes in $range"
+	exit 0
+fi
+
+tests=$(echo "$changed" | grep -E '^(internal/conform/|internal/emu/[^/]*_test\.go)' || true)
+if [ -z "$tests" ]; then
+	echo "checkconform: emulator model files changed in $range without a conformance or emu test:"
+	echo "$model" | sed 's/^/  /'
+	echo "add or update a test under internal/conform/ or internal/emu/*_test.go"
+	exit 1
+fi
+
+echo "checkconform: emulator changes in $range are covered by:"
+echo "$tests" | sed 's/^/  /'
