@@ -1,15 +1,16 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench conform conformguard sweepbench profbench benchdiff baseline docscheck clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff baseline docscheck clean
 
 all: check
 
 # check runs the full verification gate: formatting, static analysis,
-# build, package-doc coverage, the race-enabled test suite, the simulator
-# conformance suite, the emu-coverage guard, the sweep and profiler
-# throughput measurements, and the benchmark regression diff against the
-# committed baselines.
-check: fmt vet build docscheck race conform conformguard sweepbench profbench benchdiff
+# build, package-doc coverage, the race-enabled test suite, the chaos
+# (fault-injection) suite, a fuzz smoke pass over the fault-plan parser,
+# the simulator conformance suite, the emu-coverage guard, the sweep and
+# profiler throughput measurements, and the benchmark regression diff
+# against the committed baselines.
+check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,6 +30,21 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# chaos runs the fault-injection suite under the race detector: the
+# deterministic injector unit tests, the golden chaos kernel runs with
+# pinned retry/remap counts, the fault conformance and tamper-detection
+# tests, and the CLI exit-code contract tests.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 -run 'Chaos|Fault|EmptyPlan' \
+		./internal/emu ./internal/kernels ./internal/conform \
+		./cmd/epirun ./cmd/sarprof
+
+# fuzzsmoke gives the fault-plan parser fuzzer a short budget on top of
+# replaying its committed corpus.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault
 
 # conform runs the simulator conformance harness under the race detector:
 # the invariant checker over real kernel runs, the analytic differential

@@ -52,10 +52,11 @@ var experiments = []struct{ key, title string }{
 	{"base", "Factorization base"},
 	{"rda", "Frequency vs time domain"},
 	{"upsample", "Range oversampling"},
+	{"chaos", "Fault-severity degradation"},
 }
 
 func main() {
-	exp := flag.String("exp", "t1", "experiment: t1, fig7, scaling, bw, interp, pipes, gbp, base, rda, upsample, all")
+	exp := flag.String("exp", "t1", "experiment: t1, fig7, scaling, bw, interp, pipes, gbp, base, rda, upsample, chaos, all")
 	small := flag.Bool("small", false, "run at reduced scale")
 	out := flag.String("out", "out", "output directory for images")
 	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<name>.json results")

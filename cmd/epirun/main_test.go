@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test re-execute this binary as epirun itself: when
+// EPIRUN_RUN_MAIN is set the process runs main() with the test binary's
+// arguments instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("EPIRUN_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writePlan stores a small but non-trivial fault plan: a certain-to-fire
+// link fault, a DMA fault, a derate and a halted core.
+func writePlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.txt")
+	plan := `seed 7
+halt 15
+derate 1 1.5
+link 0 1 1 timeout 100 backoff 10 retries 2
+dma * 0.5 timeout 50 retries 1
+`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runEpirun re-executes the test binary as epirun and returns its exit
+// code and combined output.
+func runEpirun(t *testing.T, tamper bool, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EPIRUN_RUN_MAIN=1")
+	if tamper {
+		cmd.Env = append(cmd.Env, "EPIRUN_TAMPER=1")
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestCheckPassesOnFaultedRun is the positive gate: a faulted, degraded
+// FFBP run must still pass -check and exit 0.
+func TestCheckPassesOnFaultedRun(t *testing.T) {
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-par", "-small", "-check", "-faults", writePlan(t))
+	if code != 0 {
+		t.Fatalf("exit %d; want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "conformance check passed") {
+		t.Fatalf("no conformance confirmation in output:\n%s", out)
+	}
+	if !strings.Contains(out, "remapped slot(s)") {
+		t.Fatalf("no fault summary in output:\n%s", out)
+	}
+}
+
+// TestCheckExitCodeOnConformanceFailure pins the exit status contract:
+// when the conformance checker rejects a faulted run, epirun must exit
+// with status 2 (not 1, the generic usage-error status) so automation can
+// tell model bugs from bad invocations.
+func TestCheckExitCodeOnConformanceFailure(t *testing.T) {
+	code, out := runEpirun(t, true,
+		"-kernel", "ffbp-par", "-small", "-check", "-faults", writePlan(t))
+	if code != exitConformFail {
+		t.Fatalf("exit %d; want %d (pinned conformance-failure status)\n%s",
+			code, exitConformFail, out)
+	}
+	if !strings.Contains(out, "invariant violation") {
+		t.Fatalf("failure output does not name the violation:\n%s", out)
+	}
+}
+
+// TestFaultsRejectedForIntelKernels verifies the guard: fault plans only
+// apply to the Epiphany model.
+func TestFaultsRejectedForIntelKernels(t *testing.T) {
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-intel", "-small", "-faults", writePlan(t))
+	if code != 1 {
+		t.Fatalf("exit %d; want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "Intel reference kernels") {
+		t.Fatalf("unexpected error output:\n%s", out)
+	}
+}
+
+// TestFaultsHaltRejectedForSeqKernels verifies that halts are refused for
+// kernels that cannot remap work off a dead core.
+func TestFaultsHaltRejectedForSeqKernels(t *testing.T) {
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-seq", "-small", "-faults", writePlan(t))
+	if code != 1 {
+		t.Fatalf("exit %d; want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "cannot remap") {
+		t.Fatalf("unexpected error output:\n%s", out)
+	}
+}

@@ -15,6 +15,12 @@
 //	sarprof -json profile.json                # machine-readable profile
 //	sarprof -tracecap 262144                  # larger span rings
 //	sarprof -check                            # verify run invariants first
+//	sarprof -faults plan.txt                  # profile a degraded run
+//
+// A -faults plan (see internal/fault) degrades the run before profiling;
+// the report then includes the fault degradation section with per-target
+// retry, derate and remap costs. When -check fails, sarprof exits with
+// status 2.
 //
 // The text report always goes to stdout. Only Epiphany kernels can be
 // profiled: the analyzer consumes the chip's span tracks, dependency
@@ -32,12 +38,18 @@ import (
 	"sarmany/internal/autofocus"
 	"sarmany/internal/conform"
 	"sarmany/internal/emu"
+	"sarmany/internal/fault"
 	"sarmany/internal/kernels"
 	"sarmany/internal/obs"
 	"sarmany/internal/profile"
 	"sarmany/internal/report"
 	"sarmany/internal/sar"
 )
+
+// exitConformFail is the pinned exit status for a failed -check pass, so
+// scripts can tell a conformance violation from an ordinary usage error
+// (status 1).
+const exitConformFail = 2
 
 func main() {
 	log.SetFlags(0)
@@ -52,6 +64,7 @@ func main() {
 		htmlF  = flag.String("html", "", "also write a self-contained HTML report")
 		jsonF  = flag.String("json", "", "also write the profile as JSON")
 		check  = flag.Bool("check", false, "run the conformance checker on the completed run")
+		faultF = flag.String("faults", "", "fault plan file to inject before the run")
 	)
 	flag.Parse()
 
@@ -69,6 +82,20 @@ func main() {
 	tracer := obs.NewTracer(cfg.Epiphany.Clock)
 	tracer.SetCapacity(*traceN)
 	ch.SetTracer(tracer)
+	if *faultF != "" {
+		plan, err := fault.ParseFile(*faultF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(plan.Halts) > 0 && (*kernel == "ffbp-seq" || *kernel == "af-seq") {
+			log.Fatal("the plan halts cores, but sequential kernels run directly on core 0 and cannot remap; use a mapped kernel")
+		}
+		inj, err := plan.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch.SetFaults(inj)
+	}
 
 	data := sar.Simulate(cfg.Params, cfg.Targets, nil)
 	switch *kernel {
@@ -96,9 +123,16 @@ func main() {
 		log.Fatalf("unknown kernel %q (sarprof profiles Epiphany kernels only)", *kernel)
 	}
 
+	// SARPROF_TAMPER corrupts one cycle counter before -check runs: the
+	// test suite's way to pin the conformance-failure exit status without
+	// a real accounting bug to trip over.
+	if os.Getenv("SARPROF_TAMPER") != "" {
+		ch.Cores[0].Stats.ComputeCycles++
+	}
 	if *check {
 		if rep := conform.CheckAll(ch); !rep.OK() {
-			log.Fatal(rep.Err())
+			log.Println(rep.Err())
+			os.Exit(exitConformFail)
 		}
 		fmt.Fprintln(os.Stderr, "sarprof: conformance check passed")
 	}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test re-execute this binary as sarprof itself: when
+// SARPROF_RUN_MAIN is set the process runs main() with the test binary's
+// arguments instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("SARPROF_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSarprof re-executes the test binary as sarprof and returns its exit
+// code and combined output.
+func runSarprof(t *testing.T, tamper bool, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SARPROF_RUN_MAIN=1")
+	if tamper {
+		cmd.Env = append(cmd.Env, "SARPROF_TAMPER=1")
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func writePlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.txt")
+	plan := "seed 11\nhalt 3\nderate 1 2\ndma * 0.5 timeout 50 retries 1\n"
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestProfileFaultedRun verifies a degraded run profiles cleanly under
+// -check and reports the fault degradation section.
+func TestProfileFaultedRun(t *testing.T) {
+	code, out := runSarprof(t, false,
+		"-kernel", "ffbp-par", "-small", "-check", "-faults", writePlan(t))
+	if code != 0 {
+		t.Fatalf("exit %d; want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "conformance check passed") {
+		t.Fatalf("no conformance confirmation in output:\n%s", out)
+	}
+	if !strings.Contains(out, "fault degradation") {
+		t.Fatalf("no degradation section in report:\n%s", out)
+	}
+}
+
+// TestCheckExitCodeOnConformanceFailure pins the exit status contract:
+// a conformance failure on a faulted run must exit with status 2.
+func TestCheckExitCodeOnConformanceFailure(t *testing.T) {
+	code, out := runSarprof(t, true,
+		"-kernel", "ffbp-par", "-small", "-check", "-faults", writePlan(t))
+	if code != exitConformFail {
+		t.Fatalf("exit %d; want %d (pinned conformance-failure status)\n%s",
+			code, exitConformFail, out)
+	}
+	if !strings.Contains(out, "invariant violation") {
+		t.Fatalf("failure output does not name the violation:\n%s", out)
+	}
+}

@@ -95,7 +95,7 @@ type GBPFFBPResult struct {
 // Keys lists the experiment selector keys Compute accepts, in the
 // canonical "-exp all" order.
 func Keys() []string {
-	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample"}
+	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample", "chaos"}
 }
 
 // Compute runs the experiment selected by key (the cmd/benchtab -exp
@@ -173,6 +173,12 @@ func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) 
 			return res, err
 		}
 		res = Result{Name: "upsample", Title: "Range oversampling ablation", Data: pts}
+	case "chaos":
+		pts, err := RunChaos(ctx, cfg, []float64{0, 0.25, 0.5, 1})
+		if err != nil {
+			return res, err
+		}
+		res = Result{Name: "chaos", Title: "Fault-severity degradation sweep", Data: pts}
 	default:
 		return res, fmt.Errorf("unknown experiment %q", key)
 	}
@@ -212,6 +218,8 @@ func DecodeData(name string, raw json.RawMessage) (any, error) {
 		return decode(&MotivationResult{})
 	case "upsample":
 		return decode(&[]UpsamplePoint{})
+	case "chaos":
+		return decode(&[]ChaosPoint{})
 	}
 	return nil, fmt.Errorf("unknown envelope name %q", name)
 }
@@ -268,6 +276,10 @@ func PrintResult(w io.Writer, res Result) error {
 		printUpsample(w, v)
 	case *[]UpsamplePoint:
 		printUpsample(w, *v)
+	case []ChaosPoint:
+		printChaos(w, v)
+	case *[]ChaosPoint:
+		printChaos(w, *v)
 	default:
 		return fmt.Errorf("print %s envelope: unhandled data type %T", res.Name, res.Data)
 	}

@@ -135,6 +135,7 @@ func Check(ch *emu.Chip) *Report {
 	checkPhases(rep, ch)
 	checkPhaseStats(rep, ch)
 	checkLinks(rep, ch)
+	checkFaults(rep, ch)
 	checkTrace(rep, ch)
 	return rep
 }

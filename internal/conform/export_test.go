@@ -1,0 +1,12 @@
+package conform
+
+import "sarmany/internal/emu"
+
+// CheckFaultLinksReport exposes the link retransmission-balance checker
+// to the external tamper tests: the real LinkStats are derived read-only
+// state, so corrupted statistics have to be fed in directly.
+func CheckFaultLinksReport(links []emu.LinkStat) *Report {
+	rep := &Report{}
+	checkFaultLinks(rep, links)
+	return rep
+}

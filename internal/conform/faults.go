@@ -1,0 +1,159 @@
+package conform
+
+import (
+	"sarmany/internal/emu"
+)
+
+// checkFaults verifies the fault-injection invariants of a completed run.
+// With no injector attached (or an empty plan) it asserts the absence of
+// fault state — every fault counter zero, no remaps — so accounting can
+// never leak into clean runs. With a fault plan attached it verifies that
+// retransmission, remapping and derating were booked honestly.
+func checkFaults(rep *Report, ch *emu.Chip) {
+	inj := ch.Faults()
+	if inj == nil || inj.Empty() {
+		checkFaultClean(rep, ch)
+		return
+	}
+	rep.Checked++
+	checkFaultLinks(rep, ch.LinkStats())
+	checkRemaps(rep, ch)
+	checkFaultAttribution(rep, ch)
+	checkHaltedCores(rep, ch)
+}
+
+// checkFaultClean asserts that a run without injected faults carries no
+// fault accounting at all.
+func checkFaultClean(rep *Report, ch *emu.Chip) {
+	rep.Checked++
+	for _, c := range ch.Cores {
+		s := &c.Stats
+		if s.LinkRetries != 0 || s.DMARetries != 0 || s.RetryBytes != 0 ||
+			s.LinkRetryCycles != 0 || s.DMARetryCycles != 0 || s.DerateCycles != 0 {
+			rep.fail("fault.clean",
+				"core %d carries fault accounting without a fault plan: %d link retries, %d dma retries, %d retry bytes, %v/%v/%v cycles",
+				c.ID, s.LinkRetries, s.DMARetries, s.RetryBytes,
+				s.LinkRetryCycles, s.DMARetryCycles, s.DerateCycles)
+		}
+	}
+	for _, l := range ch.LinkStats() {
+		if l.Retries != 0 || l.RetryBytes != 0 || l.RetryCycles != 0 {
+			rep.fail("fault.clean",
+				"link %d->%d carries %d retries without a fault plan", l.From, l.To, l.Retries)
+		}
+		if l.WireBlocks != l.Blocks || l.WireBytes != l.Bytes {
+			rep.fail("fault.clean",
+				"link %d->%d wire totals (%d blocks, %d bytes) differ from delivered (%d, %d) without a fault plan",
+				l.From, l.To, l.WireBlocks, l.WireBytes, l.Blocks, l.Bytes)
+		}
+	}
+	if n := len(ch.Remaps()); n != 0 {
+		rep.fail("fault.clean", "%d slot remaps recorded without a fault plan", n)
+	}
+}
+
+// checkFaultLinks verifies retransmission balance on every link: the wire
+// totals are exactly the delivered traffic plus the retransmitted
+// traffic, and the bytes that crossed the mesh are never fewer than the
+// bytes the consumer received.
+func checkFaultLinks(rep *Report, links []emu.LinkStat) {
+	for _, l := range links {
+		if l.WireBlocks != l.Blocks+l.Retries {
+			rep.fail("fault.link-wire",
+				"link %d->%d: %d wire blocks != %d delivered + %d retries",
+				l.From, l.To, l.WireBlocks, l.Blocks, l.Retries)
+		}
+		if l.WireBytes != l.Bytes+l.RetryBytes {
+			rep.fail("fault.link-wire",
+				"link %d->%d: %d wire bytes != %d delivered + %d retransmitted",
+				l.From, l.To, l.WireBytes, l.Bytes, l.RetryBytes)
+		}
+		if l.WireBytes < l.RecvBytes {
+			rep.fail("fault.link-wire",
+				"link %d->%d: %d bytes crossed the wire, fewer than the %d the consumer received",
+				l.From, l.To, l.WireBytes, l.RecvBytes)
+		}
+		if l.RetryCycles < 0 {
+			rep.fail("fault.link-wire",
+				"link %d->%d: negative retry cycles %v", l.From, l.To, l.RetryCycles)
+		}
+	}
+}
+
+// checkRemaps verifies the recorded slot remaps: each one moves work off
+// a halted core onto a distinct live core, and no slot is remapped twice
+// within a run — together with the kernel's identity assignment for
+// healthy slots this guarantees the remapped tiles still partition the
+// original tile set.
+func checkRemaps(rep *Report, ch *emu.Chip) {
+	inj := ch.Faults()
+	seen := map[int]bool{}
+	for _, m := range ch.Remaps() {
+		if seen[m.Slot] {
+			rep.fail("fault.remap", "slot %d remapped twice", m.Slot)
+		}
+		seen[m.Slot] = true
+		if m.From == m.To {
+			rep.fail("fault.remap", "slot %d remapped from core %d onto itself", m.Slot, m.From)
+		}
+		if !inj.Halted(m.From) {
+			rep.fail("fault.remap",
+				"slot %d moved off core %d, which the plan never halted", m.Slot, m.From)
+		}
+		if inj.Halted(m.To) {
+			rep.fail("fault.remap",
+				"slot %d moved onto core %d, which the plan halted", m.Slot, m.To)
+		}
+		if m.To < 0 || m.To >= len(ch.Cores) {
+			rep.fail("fault.remap", "slot %d moved onto nonexistent core %d", m.Slot, m.To)
+		}
+	}
+}
+
+// checkFaultAttribution verifies that the fault-cost counters stay inside
+// the cycle accounting they attribute: a retry's timeout+backoff is link
+// stall and its re-issue is compute, so LinkRetryCycles can never exceed
+// their sum; DerateCycles is by construction a subset of ComputeCycles.
+// The cycle identity itself (compute+stall == clock) is checkCores' job
+// and holds under faults unchanged.
+func checkFaultAttribution(rep *Report, ch *emu.Chip) {
+	n := ch.ActiveCount()
+	for i := 0; i < n; i++ {
+		s := &ch.Cores[i].Stats
+		if s.LinkRetryCycles > s.LinkStallCycles+s.ComputeCycles+tolAt(s.LinkRetryCycles) {
+			rep.fail("fault.attribution",
+				"core %d: %v link-retry cycles exceed link stall %v + compute %v",
+				i, s.LinkRetryCycles, s.LinkStallCycles, s.ComputeCycles)
+		}
+		if s.DerateCycles > s.ComputeCycles+tolAt(s.ComputeCycles) {
+			rep.fail("fault.attribution",
+				"core %d: %v derate cycles exceed compute cycles %v", i, s.DerateCycles, s.ComputeCycles)
+		}
+		if s.RetryBytes > s.NoCBytes {
+			rep.fail("fault.attribution",
+				"core %d: %d retransmitted bytes exceed total NoC bytes %d", i, s.RetryBytes, s.NoCBytes)
+		}
+		if s.LinkRetryCycles < 0 || s.DMARetryCycles < 0 || s.DerateCycles < 0 {
+			rep.fail("fault.attribution",
+				"core %d: negative fault cycle counter (%v/%v/%v)",
+				i, s.LinkRetryCycles, s.DMARetryCycles, s.DerateCycles)
+		}
+	}
+}
+
+// checkHaltedCores verifies that hard-halted cores truly never ran: their
+// clocks never advanced and they accumulated no statistics.
+func checkHaltedCores(rep *Report, ch *emu.Chip) {
+	for _, id := range ch.Faults().HaltedCores() {
+		if id >= len(ch.Cores) {
+			continue // plan may halt cores beyond this mesh
+		}
+		c := ch.Cores[id]
+		if cy := c.Cycles(); cy != 0 {
+			rep.fail("fault.halted", "halted core %d advanced to %v cycles", id, cy)
+		}
+		if c.Stats != (emu.CoreStats{}) {
+			rep.fail("fault.halted", "halted core %d accumulated statistics", id)
+		}
+	}
+}

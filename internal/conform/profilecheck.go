@@ -14,6 +14,7 @@ func CheckProfile(p *profile.Profile) *Report {
 	rep := &Report{}
 	checkSegments(rep, p)
 	checkEnergyRows(rep, p)
+	checkDegradation(rep, p)
 	return rep
 }
 
@@ -115,5 +116,80 @@ func checkEnergyRows(rep *Report, p *profile.Profile) {
 			rep.fail("profile.energy-sum",
 				"%s: phase rows sum to %v J, whole-run estimate is %v J", c.name, c.got, c.want)
 		}
+	}
+}
+
+// checkDegradation verifies the fault report against the run's aggregate
+// counters: the per-fault rows must sum — per mechanism and overall — to
+// the whole-run overhead measured from the core statistics, the energy
+// rows must sum to the priced overhead, and the remap rows must account
+// for every recorded slot move. A profile without a fault report must not
+// carry fault cycles in its aggregate statistics.
+func checkDegradation(rep *Report, p *profile.Profile) {
+	t := p.Total
+	measured := t.LinkRetryCycles + t.DMARetryCycles + t.DerateCycles
+	d := p.Faults
+	if d == nil {
+		if measured != 0 || t.RetryBytes != 0 {
+			rep.fail("profile.degradation",
+				"run carries %v fault cycles and %d retransmitted bytes but no degradation report",
+				measured, t.RetryBytes)
+		}
+		return
+	}
+	rep.Checked++
+	var byKind = map[string]float64{}
+	var cycleSum, energySum float64
+	var remapEvents uint64
+	for i, r := range d.Rows {
+		switch r.Kind {
+		case "link-retry", "dma-retry", "derate", "remap":
+		default:
+			rep.fail("profile.degradation", "row %d has unknown kind %q", i, r.Kind)
+		}
+		if r.Cycles < 0 || r.EnergyJ < 0 {
+			rep.fail("profile.degradation",
+				"row %d (%s %s) has negative cost: %v cycles, %v J", i, r.Kind, r.Target, r.Cycles, r.EnergyJ)
+		}
+		if r.Kind == "remap" {
+			remapEvents += r.Events
+			if r.Cycles != 0 || r.EnergyJ != 0 {
+				rep.fail("profile.degradation",
+					"remap row %s carries cost (%v cycles, %v J); remapping itself is free",
+					r.Target, r.Cycles, r.EnergyJ)
+			}
+		}
+		byKind[r.Kind] += r.Cycles
+		cycleSum += r.Cycles
+		energySum += r.EnergyJ
+	}
+	for _, c := range []struct {
+		kind string
+		want float64
+	}{
+		{"link-retry", t.LinkRetryCycles},
+		{"dma-retry", t.DMARetryCycles},
+		{"derate", t.DerateCycles},
+	} {
+		if got := byKind[c.kind]; !closeCycles(got, c.want) {
+			rep.fail("profile.degradation",
+				"%s rows sum to %v cycles, aggregate counters measure %v", c.kind, got, c.want)
+		}
+	}
+	if !closeCycles(cycleSum, d.OverheadCycles) {
+		rep.fail("profile.degradation",
+			"rows sum to %v cycles, report claims %v overhead", cycleSum, d.OverheadCycles)
+	}
+	if !closeCycles(d.OverheadCycles, measured) {
+		rep.fail("profile.degradation",
+			"report claims %v overhead cycles, aggregate counters measure %v", d.OverheadCycles, measured)
+	}
+	if !approx(energySum, d.OverheadEnergyJ, energyEps) {
+		rep.fail("profile.degradation",
+			"rows sum to %v J, report claims %v J overhead", energySum, d.OverheadEnergyJ)
+	}
+	if int(remapEvents) != d.RemappedSlots {
+		rep.fail("profile.degradation",
+			"remap rows account for %d slots, report claims %d", remapEvents, d.RemappedSlots)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sarmany/internal/fault"
 	"sarmany/internal/machine"
 	"sarmany/internal/obs"
 	"sarmany/internal/sim"
@@ -40,6 +41,11 @@ type Chip struct {
 	// Event tracing (nil when disabled — the default).
 	tracer     *obs.Tracer
 	phaseTrack *obs.Track
+
+	// Fault injection (nil when disabled — the default). remaps records
+	// every work slot Assignments/RemapPlacement moved off a halted core.
+	faults *fault.Injector
+	remaps []Remap
 }
 
 // New constructs a chip with the given parameters.
@@ -68,6 +74,7 @@ func New(p Params) *Chip {
 				chip: ch,
 				ID:   r*p.Cols + c,
 				Row:  r, Col: c,
+				slow:  1,
 				banks: make([]*machine.Bump, p.NumBanks),
 			}
 			base := coreBase(r, c)
@@ -96,6 +103,7 @@ func (ch *Chip) SetTracer(tr *obs.Tracer) {
 		ch.phaseTrack = nil
 		for _, c := range ch.Cores {
 			c.tr = nil
+			c.ftr = nil
 		}
 		return
 	}
@@ -104,6 +112,7 @@ func (ch *Chip) SetTracer(tr *obs.Tracer) {
 	for _, c := range ch.Cores {
 		c.tr = tr.NewTrack(0, c.ID+1, fmt.Sprintf("core %d", c.ID))
 	}
+	ch.makeFaultTracks()
 }
 
 // Tracer returns the attached tracer (nil when tracing is disabled).
@@ -111,7 +120,10 @@ func (ch *Chip) Tracer() *obs.Tracer { return ch.tracer }
 
 // Run executes fn concurrently on the first n cores (one goroutine per
 // core) and waits for completion. Barriers inside fn synchronize exactly
-// those n cores. n == 0 means all cores.
+// those n cores. n == 0 means all cores. Cores hard-halted by an attached
+// fault plan never run and never join barriers; they stay in the
+// aggregate views with zero stats. Kernels move the halted cores' work to
+// live ones via Assignments/RemapPlacement before calling Run.
 func (ch *Chip) Run(n int, fn func(c *Core)) {
 	if n == 0 {
 		n = len(ch.Cores)
@@ -119,18 +131,32 @@ func (ch *Chip) Run(n int, fn func(c *Core)) {
 	if n < 1 || n > len(ch.Cores) {
 		panic(fmt.Sprintf("emu: cannot run on %d of %d cores", n, len(ch.Cores)))
 	}
+	live := make([]*Core, 0, n)
+	for i := 0; i < n; i++ {
+		if ch.Alive(i) {
+			live = append(live, ch.Cores[i])
+		} else {
+			// A halted core contributes nothing to the barrier settlement;
+			// clear any state a previous wider run may have left behind.
+			ch.barTimes[i] = 0
+			ch.barBusy[i] = 0
+		}
+	}
+	if len(live) == 0 {
+		panic(fmt.Sprintf("emu: all %d cores of the run are halted by the fault plan", n))
+	}
 	ch.active = n
 	ch.ran = n
-	ch.bar = sim.NewRendezvous(n)
+	ch.bar = sim.NewRendezvous(len(live))
 	ch.phaseStart = 0
 	ch.phaseCum = ch.sumActiveStats()
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for _, c := range live {
 		wg.Add(1)
 		go func(c *Core) {
 			defer wg.Done()
 			fn(c)
-		}(ch.Cores[i])
+		}(c)
 	}
 	wg.Wait()
 	for i := 0; i < n; i++ {
@@ -227,6 +253,18 @@ type LinkStat struct {
 	RecvBytes uint64  `json:"recv_bytes"`
 	SendWait  float64 `json:"send_wait_cycles"` // producer back-pressure
 	RecvWait  float64 `json:"recv_wait_cycles"` // consumer empty-buffer waits
+
+	// Fault-injection accounting (all zero without an attached fault
+	// plan). Retries counts retransmitted blocks, RetryBytes their payload
+	// and RetryCycles the producer time they cost. WireBlocks/WireBytes
+	// are the totals that actually crossed the mesh — delivered plus
+	// retransmitted — so on a faulty link WireBytes ≥ RecvBytes (the
+	// conformance checker verifies exactly that).
+	Retries     uint64  `json:"retries,omitempty"`
+	RetryBytes  uint64  `json:"retry_bytes,omitempty"`
+	RetryCycles float64 `json:"retry_cycles,omitempty"`
+	WireBlocks  uint64  `json:"wire_blocks"`
+	WireBytes   uint64  `json:"wire_bytes"`
 }
 
 // LinkStats returns the occupancy of every link Connect has created, in
@@ -239,6 +277,8 @@ func (ch *Chip) LinkStats() []LinkStat {
 			Blocks: l.sends, Bytes: l.bytes,
 			Recvs: l.recvs, RecvBytes: l.recvBytes,
 			SendWait: l.sendStall, RecvWait: l.recvStall,
+			Retries: l.retries, RetryBytes: l.retryBytes, RetryCycles: l.retryCycles,
+			WireBlocks: l.sends + l.retries, WireBytes: l.bytes + l.retryBytes,
 		})
 	}
 	return out
@@ -294,6 +334,12 @@ type Link struct {
 	recvBytes    uint64
 	sendStall    float64 // producer cycles lost to back-pressure
 	recvStall    float64 // consumer cycles waiting for a block
+
+	// Fault-injection counters, written only by the producer core's
+	// goroutine (like sends/bytes/sendStall).
+	retries     uint64
+	retryBytes  uint64
+	retryCycles float64
 }
 
 // Connect creates a link from core `from` to core `to` with the given
@@ -324,6 +370,9 @@ func (l *Link) Send(c *Core, vals []complex64) {
 	// flag write.
 	c.ialu += words(n) + 1
 	c.commit()
+	// Injected link faults: the block may be lost en route; the producer
+	// times out, backs off, and retransmits before the delivery below.
+	l.injectSendFaults(c, n)
 	dur := float64(l.hops)*c.chip.P.RemoteHopCycles + words(n)*8/c.chip.P.NoCBytesPerCycle
 	block := append([]complex64(nil), vals...)
 	before := c.now

@@ -33,6 +33,21 @@ type CoreStats struct {
 	DMAStallCycles     float64
 	LinkStallCycles    float64
 	BarrierStallCycles float64
+
+	// Fault-injection accounting (all zero without an attached fault
+	// plan). LinkRetries/RetryBytes count retransmitted link blocks and
+	// their payload; LinkRetryCycles is the producer time those retries
+	// cost (timeout + backoff stalls plus re-issue cycles, a subset of
+	// LinkStallCycles + ComputeCycles). DMARetries/DMARetryCycles count
+	// injected DMA completion timeouts and the extra engine time they add.
+	// DerateCycles is the extra compute time a frequency-derated core
+	// spent (a subset of ComputeCycles).
+	LinkRetries     uint64
+	DMARetries      uint64
+	RetryBytes      uint64
+	LinkRetryCycles float64
+	DMARetryCycles  float64
+	DerateCycles    float64
 }
 
 // addStall accumulates cy stall cycles under the given cause.
@@ -70,8 +85,16 @@ type Core struct {
 	banks []*machine.Bump
 
 	// tr is the core's event-trace sink; nil (the default) disables
-	// tracing and every recording call is a free no-op.
-	tr *obs.Track
+	// tracing and every recording call is a free no-op. ftr is the
+	// separate fault-event track, created only when both a tracer and a
+	// non-empty fault plan are attached.
+	tr  *obs.Track
+	ftr *obs.Track
+
+	// slow is the frequency-derating factor from the attached fault plan:
+	// every committed dual-issue window is stretched by it. 1 (the
+	// default) leaves the commit arithmetic untouched.
+	slow float64
 
 	Stats CoreStats
 }
@@ -86,6 +109,14 @@ func (c *Core) commit() {
 	d := c.fpu
 	if c.ialu > d {
 		d = c.ialu
+	}
+	if c.slow != 1 {
+		// Frequency derating stretches the committed window; the extra
+		// time stays inside ComputeCycles (so the compute+stall cycle
+		// identity is untouched) and is attributed in DerateCycles.
+		s := d * c.slow
+		c.Stats.DerateCycles += s - d
+		d = s
 	}
 	c.now += d
 	c.Stats.ComputeCycles += d
@@ -161,7 +192,7 @@ func (c *Core) Load(addr uint32, n int) {
 		c.Stats.NoCBytes += uint64(n)
 	case locExt:
 		p := &c.chip.P
-		service := float64(n) / p.ExtBytesPerCycle
+		service := float64(n) / c.extBW()
 		c.stall(p.ExtReadLatency+service, obs.KindStallExt)
 		c.extBusy += service
 		c.Stats.ExtReads++
@@ -184,7 +215,7 @@ func (c *Core) Store(addr uint32, n int) {
 		c.Stats.NoCBytes += uint64(n)
 	case locExt:
 		c.ialu += words(n) * 8 / c.chip.P.NoCBytesPerCycle
-		c.extBusy += float64(n) / c.chip.P.ExtBytesPerCycle
+		c.extBusy += float64(n) / c.extBW()
 		c.Stats.ExtWrites++
 		c.Stats.ExtWriteB += uint64(n)
 	}
@@ -196,6 +227,9 @@ func (c *Core) Cycles() float64 {
 	d := c.fpu
 	if c.ialu > d {
 		d = c.ialu
+	}
+	if c.slow != 1 {
+		d *= c.slow
 	}
 	return c.now + d
 }
@@ -289,7 +323,7 @@ func (c *Core) dmaStart(n int, extRead, extWrite bool, hops int) DMA {
 	p := &c.chip.P
 	var dur float64
 	if extRead || extWrite {
-		service := float64(n) / p.ExtBytesPerCycle
+		service := float64(n) / c.extBW()
 		if extRead {
 			dur += p.ExtReadLatency + service
 			c.extBusy += service
@@ -301,6 +335,12 @@ func (c *Core) dmaStart(n int, extRead, extWrite bool, hops int) DMA {
 	} else {
 		dur = p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles + float64(n)/p.DMABytesPerCycle
 		c.Stats.NoCBytes += uint64(n)
+	}
+	if extra := c.injectDMAFaults(); extra > 0 {
+		// Injected completion timeouts delay the descriptor's finish; the
+		// cost surfaces as DMA-wait stall only if the core actually waits.
+		dur += extra
+		c.ftr.Span(obs.KindFaultDMA, start+dur-extra, start+dur)
 	}
 	c.dmaLast = start + dur
 	c.Stats.DMATransfers++

@@ -40,6 +40,12 @@ var coreStatFields = []struct {
 	{"cycles.stall.dma", func(s *CoreStats) float64 { return s.DMAStallCycles }, func(s *CoreStats, v float64) { s.DMAStallCycles = v }},
 	{"cycles.stall.link", func(s *CoreStats) float64 { return s.LinkStallCycles }, func(s *CoreStats, v float64) { s.LinkStallCycles = v }},
 	{"cycles.stall.barrier", func(s *CoreStats) float64 { return s.BarrierStallCycles }, func(s *CoreStats, v float64) { s.BarrierStallCycles = v }},
+	{"fault.link_retries", func(s *CoreStats) float64 { return float64(s.LinkRetries) }, func(s *CoreStats, v float64) { s.LinkRetries = uint64(v) }},
+	{"fault.dma_retries", func(s *CoreStats) float64 { return float64(s.DMARetries) }, func(s *CoreStats, v float64) { s.DMARetries = uint64(v) }},
+	{"fault.retry_bytes", func(s *CoreStats) float64 { return float64(s.RetryBytes) }, func(s *CoreStats, v float64) { s.RetryBytes = uint64(v) }},
+	{"fault.link_retry_cycles", func(s *CoreStats) float64 { return s.LinkRetryCycles }, func(s *CoreStats, v float64) { s.LinkRetryCycles = v }},
+	{"fault.dma_retry_cycles", func(s *CoreStats) float64 { return s.DMARetryCycles }, func(s *CoreStats, v float64) { s.DMARetryCycles = v }},
+	{"fault.derate_cycles", func(s *CoreStats) float64 { return s.DerateCycles }, func(s *CoreStats, v float64) { s.DerateCycles = v }},
 }
 
 // VisitStats calls fn for every published statistic of s with its metric
@@ -135,6 +141,16 @@ func (ch *Chip) Metrics() *obs.Registry {
 		reg.Counter(p + "bytes").Add(float64(l.bytes))
 		reg.Counter(p + "send_stall_cycles").Add(l.sendStall)
 		reg.Counter(p + "recv_stall_cycles").Add(l.recvStall)
+		if l.retries > 0 {
+			reg.Counter(p + "retries").Add(float64(l.retries))
+			reg.Counter(p + "retry_bytes").Add(float64(l.retryBytes))
+			reg.Counter(p + "retry_cycles").Add(l.retryCycles)
+		}
+	}
+
+	if ch.faults != nil {
+		reg.Gauge("emu.fault.halted_cores").Set(float64(len(ch.faults.HaltedCores())))
+		reg.Gauge("emu.fault.remapped_slots").Set(float64(len(ch.remaps)))
 	}
 	return reg
 }

@@ -1,0 +1,53 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWithMeshEdgeCases pins New's validation of resized meshes: an empty
+// mesh is rejected outright, and the 6-bit row/column fields of the
+// global address map bound how far the mesh can grow in each dimension
+// (rows start at 32, columns at 8).
+func TestWithMeshEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		wantPanic  string // substring; "" means New must succeed
+	}{
+		{"zero rows", 0, 4, "needs at least one core"},
+		{"zero cols", 4, 0, "needs at least one core"},
+		{"negative", -1, 4, "needs at least one core"},
+		{"single core", 1, 1, ""},
+		{"max rows", 32, 1, ""},
+		{"rows overflow", 33, 1, "exceeds the 6-bit address map"},
+		{"max cols", 1, 56, ""},
+		{"cols overflow", 1, 57, "exceeds the 6-bit address map"},
+		{"e64 shape", 8, 8, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := E16G3().WithMesh(tc.rows, tc.cols)
+			if p.Rows != tc.rows || p.Cols != tc.cols {
+				t.Fatalf("WithMesh(%d,%d) = %dx%d", tc.rows, tc.cols, p.Rows, p.Cols)
+			}
+			defer func() {
+				r := recover()
+				if tc.wantPanic == "" {
+					if r != nil {
+						t.Fatalf("New(%dx%d) panicked: %v", tc.rows, tc.cols, r)
+					}
+					return
+				}
+				msg, _ := r.(string)
+				if r == nil || !strings.Contains(msg, tc.wantPanic) {
+					t.Fatalf("New(%dx%d) panic = %v, want containing %q", tc.rows, tc.cols, r, tc.wantPanic)
+				}
+			}()
+			ch := New(p)
+			if len(ch.Cores) != tc.rows*tc.cols {
+				t.Fatalf("%d cores", len(ch.Cores))
+			}
+		})
+	}
+}

@@ -39,6 +39,15 @@ const (
 	staticW = 0.4
 )
 
+// NoCEnergyJ returns the mesh-network energy of moving the given byte
+// count — the marginal cost the degradation report charges retransmitted
+// link traffic.
+func NoCEnergyJ(bytes uint64) float64 { return float64(bytes) * nocByteJ }
+
+// StaticEnergyJ returns the always-on (clock tree + leakage) energy over
+// the given wall time — the cost of cycles a fault stretched the run by.
+func StaticEnergyJ(seconds float64) float64 { return staticW * seconds }
+
 // EpiphanyBreakdown estimates the energy components of a run from the
 // chip's aggregate statistics and execution time.
 func EpiphanyBreakdown(s emu.CoreStats, seconds float64) Breakdown {

@@ -1,0 +1,50 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan drives the fault-plan parser with arbitrary text and
+// checks the contract the rest of the stack relies on: every accepted
+// plan compiles, and String renders a canonical form that Parse maps back
+// to itself (a fixpoint), so plans survive save/load cycles unchanged.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed 42\n",
+		"# comment only\n",
+		"seed 42\nhalt 5\nderate 3 1.5\next-derate 0.5\n",
+		"link 0 1 0.1 timeout 500 backoff 64 retries 8\n",
+		"link * * 0.01\ndma * 0.02 timeout 200 retries 4\n",
+		"dma 3 1 retries 20\n",
+		"seed -9223372036854775808\nhalt 0\n",
+		"derate 0 1e300\n",
+		"link 0 1 0.5 backoff 0.125\n",
+		"halt *\n",
+		"link 0 1 nan\n",
+		"ext-derate +Inf\n",
+		"seed 1 extra\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		inj, err := p.Compile()
+		if err != nil {
+			t.Fatalf("accepted plan does not compile: %v\ninput: %q\nplan: %+v", err, text, p)
+		}
+		if p.Empty() != inj.Empty() {
+			t.Fatalf("Plan.Empty()=%v but Injector.Empty()=%v for %q", p.Empty(), inj.Empty(), text)
+		}
+		s1 := p.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ninput: %q\ncanonical: %q", err, text, s1)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("String is not a Parse fixpoint:\ninput: %q\n first: %q\nsecond: %q", text, s1, s2)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the line-oriented fault-plan text format:
+//
+//	# comment
+//	seed 42
+//	halt 5
+//	derate 3 1.5
+//	ext-derate 0.5
+//	link 0 1 0.1 timeout 500 backoff 64 retries 8
+//	link * 12 0.05
+//	dma * 0.02 timeout 200 retries 4
+//
+// Core fields accept "*" as a wildcard. The timeout/backoff/retries
+// options may appear in any order and default to the package constants
+// when omitted. The returned plan is validated; String renders it back
+// in the canonical form Parse accepts (a Parse/String round trip is a
+// fixpoint).
+func Parse(text string) (Plan, error) {
+	var p Plan
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(&p, fields); err != nil {
+			return Plan{}, fmt.Errorf("fault: line %d: %w", ln+1, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// ParseFile reads and parses a fault-plan file.
+func ParseFile(path string) (Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Parse(string(b))
+}
+
+func parseLine(p *Plan, fields []string) error {
+	args := fields[1:]
+	switch fields[0] {
+	case "seed":
+		if len(args) != 1 {
+			return fmt.Errorf("seed wants 1 argument, got %d", len(args))
+		}
+		v, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", args[0])
+		}
+		p.Seed = v
+	case "halt":
+		if len(args) != 1 {
+			return fmt.Errorf("halt wants 1 argument, got %d", len(args))
+		}
+		c, err := parseCore(args[0], false)
+		if err != nil {
+			return err
+		}
+		p.Halts = append(p.Halts, c)
+	case "derate":
+		if len(args) != 2 {
+			return fmt.Errorf("derate wants <core> <factor>, got %d arguments", len(args))
+		}
+		c, err := parseCore(args[0], false)
+		if err != nil {
+			return err
+		}
+		f, err := parseNum(args[1])
+		if err != nil {
+			return err
+		}
+		p.Derates = append(p.Derates, Derate{Core: c, Factor: f})
+	case "ext-derate":
+		if len(args) != 1 {
+			return fmt.Errorf("ext-derate wants 1 argument, got %d", len(args))
+		}
+		s, err := parseNum(args[0])
+		if err != nil {
+			return err
+		}
+		p.ExtScale = s
+	case "link":
+		if len(args) < 3 {
+			return fmt.Errorf("link wants <from> <to> <rate> [options], got %d arguments", len(args))
+		}
+		from, err := parseCore(args[0], true)
+		if err != nil {
+			return err
+		}
+		to, err := parseCore(args[1], true)
+		if err != nil {
+			return err
+		}
+		rate, err := parseNum(args[2])
+		if err != nil {
+			return err
+		}
+		l := LinkFault{From: from, To: to, Rate: rate}
+		if err := parseOptions(args[3:], map[string]func(float64){
+			"timeout": func(v float64) { l.TimeoutCycles = v },
+			"backoff": func(v float64) { l.BackoffCycles = v },
+			"retries": func(v float64) { l.MaxRetries = int(v) },
+		}); err != nil {
+			return err
+		}
+		p.Links = append(p.Links, l)
+	case "dma":
+		if len(args) < 2 {
+			return fmt.Errorf("dma wants <core> <rate> [options], got %d arguments", len(args))
+		}
+		core, err := parseCore(args[0], true)
+		if err != nil {
+			return err
+		}
+		rate, err := parseNum(args[1])
+		if err != nil {
+			return err
+		}
+		d := DMAFault{Core: core, Rate: rate}
+		if err := parseOptions(args[2:], map[string]func(float64){
+			"timeout": func(v float64) { d.TimeoutCycles = v },
+			"retries": func(v float64) { d.MaxRetries = int(v) },
+		}); err != nil {
+			return err
+		}
+		p.DMAs = append(p.DMAs, d)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+func parseCore(s string, wildcardOK bool) (int, error) {
+	if s == "*" {
+		if !wildcardOK {
+			return 0, fmt.Errorf("wildcard core not allowed here")
+		}
+		return -1, nil
+	}
+	c, err := strconv.Atoi(s)
+	if err != nil || c < 0 {
+		return 0, fmt.Errorf("bad core %q", s)
+	}
+	return c, nil
+}
+
+func parseNum(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// parseOptions consumes "name value" pairs; the option table maps each
+// accepted name to its setter. "retries" values must be non-negative
+// integers.
+func parseOptions(args []string, table map[string]func(float64)) error {
+	for i := 0; i+1 < len(args); i += 2 {
+		set, ok := table[args[i]]
+		if !ok {
+			return fmt.Errorf("unknown option %q", args[i])
+		}
+		v, err := parseNum(args[i+1])
+		if err != nil {
+			return err
+		}
+		if args[i] == "retries" && (v != float64(int(v)) || v < 0 || v > MaxRetryCap) {
+			return fmt.Errorf("bad retries %q", args[i+1])
+		}
+		set(v)
+	}
+	if len(args)%2 != 0 {
+		return fmt.Errorf("option %q has no value", args[len(args)-1])
+	}
+	return nil
+}
+
+// String renders the plan in the canonical text form: seed first, then
+// ext-derate, halts (sorted), derates (by core), link faults and DMA
+// faults in declaration order, every numeric field spelled out. Parsing
+// the output reproduces the plan (after Validate-accepted input).
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed %d\n", p.Seed)
+	if p.ExtScale != 0 {
+		fmt.Fprintf(&sb, "ext-derate %s\n", num(p.ExtScale))
+	}
+	halts := append([]int(nil), p.Halts...)
+	sort.Ints(halts)
+	for _, h := range halts {
+		fmt.Fprintf(&sb, "halt %d\n", h)
+	}
+	derates := append([]Derate(nil), p.Derates...)
+	sort.Slice(derates, func(i, j int) bool { return derates[i].Core < derates[j].Core })
+	for _, d := range derates {
+		fmt.Fprintf(&sb, "derate %d %s\n", d.Core, num(d.Factor))
+	}
+	for _, l := range p.Links {
+		fmt.Fprintf(&sb, "link %s %s %s", core(l.From), core(l.To), num(l.Rate))
+		writeOpts(&sb, l.TimeoutCycles, l.BackoffCycles, l.MaxRetries, true)
+	}
+	for _, d := range p.DMAs {
+		fmt.Fprintf(&sb, "dma %s %s", core(d.Core), num(d.Rate))
+		writeOpts(&sb, d.TimeoutCycles, 0, d.MaxRetries, false)
+	}
+	return sb.String()
+}
+
+func writeOpts(sb *strings.Builder, timeout, backoff float64, retries int, withBackoff bool) {
+	if timeout != 0 {
+		fmt.Fprintf(sb, " timeout %s", num(timeout))
+	}
+	if withBackoff && backoff != 0 {
+		fmt.Fprintf(sb, " backoff %s", num(backoff))
+	}
+	if retries != 0 {
+		fmt.Fprintf(sb, " retries %d", retries)
+	}
+	sb.WriteByte('\n')
+}
+
+func core(c int) string {
+	if c == -1 {
+		return "*"
+	}
+	return strconv.Itoa(c)
+}
+
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

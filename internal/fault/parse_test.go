@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFull(t *testing.T) {
+	text := `
+# chaos scenario: one dead core, one slow core, flaky links
+seed 42
+halt 5
+derate 3 1.5
+ext-derate 0.5
+link 0 1 0.1 timeout 500 backoff 64 retries 8
+link * 12 0.05
+dma * 0.02 timeout 200 retries 4
+`
+	p, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed:     42,
+		Halts:    []int{5},
+		Derates:  []Derate{{Core: 3, Factor: 1.5}},
+		ExtScale: 0.5,
+		Links: []LinkFault{
+			{From: 0, To: 1, Rate: 0.1, TimeoutCycles: 500, BackoffCycles: 64, MaxRetries: 8},
+			{From: -1, To: 12, Rate: 0.05},
+		},
+		DMAs: []DMAFault{{Core: -1, Rate: 0.02, TimeoutCycles: 200, MaxRetries: 4}},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("Parse mismatch:\n got %+v\nwant %+v", p, want)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed:     99,
+		Halts:    []int{7, 2}, // deliberately unsorted
+		Derates:  []Derate{{Core: 9, Factor: 2}, {Core: 1, Factor: 1.25}},
+		ExtScale: 0.75,
+		Links:    []LinkFault{{From: 4, To: -1, Rate: 0.2, BackoffCycles: 32}},
+		DMAs:     []DMAFault{{Core: 6, Rate: 0.01, MaxRetries: 2}},
+	}
+	s := p.String()
+	p2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("parsing String() output %q: %v", s, err)
+	}
+	if s2 := p2.String(); s2 != s {
+		t.Fatalf("String is not a Parse fixpoint:\n first %q\nsecond %q", s, s2)
+	}
+	// The canonical form sorts halts and derates.
+	if !strings.Contains(s, "halt 2\nhalt 7\n") {
+		t.Errorf("halts not sorted in %q", s)
+	}
+	if strings.Index(s, "derate 1 ") > strings.Index(s, "derate 9 ") {
+		t.Errorf("derates not sorted by core in %q", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"unknown directive", "frobnicate 3", `unknown directive "frobnicate"`},
+		{"seed argc", "seed", "seed wants 1 argument"},
+		{"seed value", "seed x", `bad seed "x"`},
+		{"halt wildcard", "halt *", "wildcard core not allowed"},
+		{"halt value", "halt -3", `bad core "-3"`},
+		{"derate argc", "derate 3", "derate wants <core> <factor>"},
+		{"derate factor", "derate 3 x", `bad number "x"`},
+		{"derate range", "derate 3 0.5", "not a finite value >= 1"},
+		{"ext range", "ext-derate 2", "outside (0, 1]"},
+		{"link argc", "link 0 1", "link wants <from> <to> <rate>"},
+		{"link option", "link 0 1 0.1 jitter 5", `unknown option "jitter"`},
+		{"link dangling option", "link 0 1 0.1 timeout", `option "timeout" has no value`},
+		{"link retries fraction", "link 0 1 0.1 retries 1.5", `bad retries "1.5"`},
+		{"link retries cap", "link 0 1 0.1 retries 21", `bad retries "21"`},
+		{"dma argc", "dma 3", "dma wants <core> <rate>"},
+		{"dup from validate", "derate 3 2\nderate 3 2", "derated twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error = %v, want containing %q", tc.text, err, tc.want)
+			}
+		})
+	}
+	// Line numbers point at the offending line, 1-based, counting comments.
+	_, err := Parse("# fine\nseed 1\nhalt *\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name line 3", err)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	p, err := Parse("\n  # all comments\nseed 5 # trailing comment\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 5 || !p.Empty() {
+		t.Fatalf("got %+v, want empty plan with seed 5", p)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.txt")
+	if err := os.WriteFile(path, []byte("seed 11\nhalt 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 11 || len(p.Halts) != 1 || p.Halts[0] != 1 {
+		t.Fatalf("ParseFile = %+v", p)
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("ParseFile of a missing file should fail")
+	}
+}

@@ -164,7 +164,6 @@ func (g *Graph) Run(ch *emu.Chip, placement []int) error {
 	if len(placement) != n {
 		return fmt.Errorf("flow: placement has %d entries for %d nodes", len(placement), n)
 	}
-	maxCore := 0
 	seen := make(map[int]bool, n)
 	for i, c := range placement {
 		if c < 0 || c >= len(ch.Cores) {
@@ -174,6 +173,16 @@ func (g *Graph) Run(ch *emu.Chip, placement []int) error {
 			return fmt.Errorf("flow: core %d hosts more than one node", c)
 		}
 		seen[c] = true
+	}
+	// Graceful degradation: nodes placed on cores a fault plan halted move
+	// to the nearest free live core before any channel is wired. Without
+	// faults this returns the placement unchanged.
+	placement, err := ch.RemapPlacement(placement)
+	if err != nil {
+		return fmt.Errorf("flow: cannot degrade: %w", err)
+	}
+	maxCore := 0
+	for _, c := range placement {
 		if c > maxCore {
 			maxCore = c
 		}

@@ -131,12 +131,15 @@ func SeqAutofocus(m machine.Machine, mem machine.Alloc, pairs []BlockPair, shift
 	return scores, nil
 }
 
-// afPipeline wires one 13-core streaming pipeline (paper Fig. 9) on cores
-// [base, base+13): range interpolators 0-2 (minus block) and 6-8 (plus
-// block), beam interpolators 3-5 and 9-11, correlation core 12.
+// afPipeline wires one 13-core streaming pipeline (paper Fig. 9) on the
+// 13 cores listed in cores (role r runs on cores[r]): range interpolators
+// 0-2 (minus block) and 6-8 (plus block), beam interpolators 3-5 and
+// 9-11, correlation core 12. The fault-free placement is contiguous
+// ascending IDs; under a fault plan, halted entries are replaced by
+// Chip.RemapPlacement before the pipeline is wired.
 type afPipeline struct {
-	base      int
-	pairLo    int // global index of the pipeline's first pair
+	cores     []int // role -> core ID, 13 entries
+	pairLo    int   // global index of the pipeline's first pair
 	pairs     []BlockPair
 	shifts    []autofocus.Shift
 	buf       *machine.BufC
@@ -157,19 +160,19 @@ const (
 	roleCorr        = 12
 )
 
-func newAFPipeline(ch *emu.Chip, base, pairLo int, pairs []BlockPair, shifts []autofocus.Shift,
+func newAFPipeline(ch *emu.Chip, cores []int, pairLo int, pairs []BlockPair, shifts []autofocus.Shift,
 	buf *machine.BufC, scores [][]float64) (*afPipeline, error) {
 	pl := &afPipeline{
-		base: base, pairLo: pairLo, pairs: pairs, shifts: shifts,
+		cores: cores, pairLo: pairLo, pairs: pairs, shifts: shifts,
 		buf: buf, scores: scores,
 	}
-	pl.fwdM = []*emu.Link{ch.Connect(base+0, base+1, 2), ch.Connect(base+1, base+2, 2)}
-	pl.fwdP = []*emu.Link{ch.Connect(base+6, base+7, 2), ch.Connect(base+7, base+8, 2)}
+	pl.fwdM = []*emu.Link{ch.Connect(cores[0], cores[1], 2), ch.Connect(cores[1], cores[2], 2)}
+	pl.fwdP = []*emu.Link{ch.Connect(cores[6], cores[7], 2), ch.Connect(cores[7], cores[8], 2)}
 	for w := 0; w < 3; w++ {
-		pl.r2b[w] = ch.Connect(base+roleRangeMinus0+w, base+roleBeamMinus0+w, 4)
-		pl.r2b[3+w] = ch.Connect(base+roleRangePlus0+w, base+roleBeamPlus0+w, 4)
-		pl.b2c[w] = ch.Connect(base+roleBeamMinus0+w, base+roleCorr, 4)
-		pl.b2c[3+w] = ch.Connect(base+roleBeamPlus0+w, base+roleCorr, 4)
+		pl.r2b[w] = ch.Connect(cores[roleRangeMinus0+w], cores[roleBeamMinus0+w], 4)
+		pl.r2b[3+w] = ch.Connect(cores[roleRangePlus0+w], cores[roleBeamPlus0+w], 4)
+		pl.b2c[w] = ch.Connect(cores[roleBeamMinus0+w], cores[roleCorr], 4)
+		pl.b2c[3+w] = ch.Connect(cores[roleBeamPlus0+w], cores[roleCorr], 4)
 	}
 	var err error
 	pl.resultBuf, err = machine.NewBufF(ch.Ext(), max(1, len(pairs)*len(shifts)))
@@ -336,6 +339,17 @@ func ParAutofocusMulti(ch *emu.Chip, n int, pairs []BlockPair, shifts []autofocu
 	if len(ch.Cores) < need {
 		return nil, fmt.Errorf("kernels: %d pipelines need %d cores, chip has %d", n, need, len(ch.Cores))
 	}
+	// The fault-free placement puts pipeline slot s on core s; a fault
+	// plan with halted cores moves those slots to the nearest free live
+	// cores, keeping every slot on its own core (the pipeline is MPMD).
+	place := make([]int, need)
+	for i := range place {
+		place[i] = i
+	}
+	place, err := ch.RemapPlacement(place)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: autofocus cannot degrade: %w", err)
+	}
 	buf, err := packPairs(ch.Ext(), pairs)
 	if err != nil {
 		return nil, err
@@ -347,15 +361,26 @@ func ParAutofocusMulti(ch *emu.Chip, n int, pairs []BlockPair, shifts []autofocu
 	slices := mat.Partition(len(pairs), n)
 	pls := make([]*afPipeline, n)
 	for p := 0; p < n; p++ {
-		pls[p], err = newAFPipeline(ch, p*PipelineCores, slices[p].Lo,
+		pls[p], err = newAFPipeline(ch, place[p*PipelineCores:(p+1)*PipelineCores], slices[p].Lo,
 			pairs[slices[p].Lo:slices[p].Hi], shifts, buf, scores)
 		if err != nil {
 			return nil, err
 		}
 	}
-	ch.Run(need, func(c *emu.Core) {
-		p := c.ID / PipelineCores
-		pls[p].run(c, c.ID%PipelineCores)
+	slotOf := make(map[int]int, need)
+	maxCore := 0
+	for s, core := range place {
+		slotOf[core] = s
+		if core > maxCore {
+			maxCore = core
+		}
+	}
+	ch.Run(maxCore+1, func(c *emu.Core) {
+		s, ok := slotOf[c.ID]
+		if !ok {
+			return // core hosts no pipeline slot (freed by a remap)
+		}
+		pls[s/PipelineCores].run(c, s%PipelineCores)
 	})
 	return scores, nil
 }

@@ -1,0 +1,186 @@
+package kernels
+
+import (
+	"reflect"
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/conform"
+	"sarmany/internal/emu"
+	"sarmany/internal/fault"
+	"sarmany/internal/mat"
+	"sarmany/internal/obs"
+)
+
+// ffbpChaosPlan degrades the 16-core FFBP run on every axis the kernel
+// exercises: a dead core (its tile work remaps to a live neighbor), a
+// derated core, a throttled SDRAM channel, and DMA timeouts. FFBP shares
+// through the mesh rather than streaming links, so no link faults apply.
+func ffbpChaosPlan() fault.Plan {
+	return fault.Plan{
+		Seed:     4242,
+		Halts:    []int{5},
+		Derates:  []fault.Derate{{Core: 2, Factor: 1.25}},
+		ExtScale: 0.8,
+		DMAs:     []fault.DMAFault{{Core: -1, Rate: 0.5, TimeoutCycles: 120, MaxRetries: 3}},
+	}
+}
+
+// afChaosPlan degrades the autofocus pipeline: a dead pipeline core (the
+// MPMD placement remaps it to a live neighbor) and flaky streaming links
+// that force retransmission with exponential backoff.
+func afChaosPlan() fault.Plan {
+	return fault.Plan{
+		Seed:  777,
+		Halts: []int{7},
+		Links: []fault.LinkFault{{From: -1, To: -1, Rate: 0.2, TimeoutCycles: 80, BackoffCycles: 8, MaxRetries: 3}},
+	}
+}
+
+// tracedChip builds a 16-core chip with a tracer attached (conform's
+// trace checks need events) and an optional fault injector.
+func tracedChip(inj *fault.Injector) *emu.Chip {
+	ch := emu.New(emu.E16G3())
+	tr := obs.NewTracer(emu.E16G3().Clock)
+	tr.SetCapacity(1 << 16)
+	ch.SetTracer(tr)
+	if inj != nil {
+		ch.SetFaults(inj)
+	}
+	return ch
+}
+
+func runChaosFFBP(t *testing.T, inj *fault.Injector) (*emu.Chip, *mat.C) {
+	t.Helper()
+	p, box, data := testSetup()
+	ch := tracedChip(inj)
+	img, _, err := ParFFBP(ch, 16, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, img
+}
+
+// TestChaosFFBPGolden pins the golden contract of a degraded FFBP run:
+// the image is bit-identical to the fault-free one (faults cost time,
+// never correctness), reruns are bit-identical, the retry and remap
+// counts are exactly the expected ones, the run is quantifiably slower,
+// and the conformance checker still passes.
+func TestChaosFFBPGolden(t *testing.T) {
+	chClean, cleanImg := runChaosFFBP(t, nil)
+	chFault, faultImg := runChaosFFBP(t, fault.MustCompile(ffbpChaosPlan()))
+	chRerun, rerunImg := runChaosFFBP(t, fault.MustCompile(ffbpChaosPlan()))
+
+	if !faultImg.Equal(cleanImg) {
+		t.Errorf("degraded image differs from fault-free image (max diff %v): faults must cost time, not correctness",
+			faultImg.MaxAbsDiff(cleanImg))
+	}
+
+	// Bit-identical rerun fingerprint: same virtual time, same aggregate
+	// counters, same remap decisions.
+	if !rerunImg.Equal(faultImg) {
+		t.Error("rerun image differs from first faulted run")
+	}
+	if chRerun.MaxCycles() != chFault.MaxCycles() {
+		t.Errorf("rerun cycles %v != first run cycles %v", chRerun.MaxCycles(), chFault.MaxCycles())
+	}
+	if !reflect.DeepEqual(chRerun.TotalStats(), chFault.TotalStats()) {
+		t.Errorf("rerun stats differ:\n%+v\n%+v", chRerun.TotalStats(), chFault.TotalStats())
+	}
+	if !reflect.DeepEqual(chRerun.Remaps(), chFault.Remaps()) {
+		t.Errorf("rerun remaps differ: %+v vs %+v", chRerun.Remaps(), chFault.Remaps())
+	}
+
+	// Exact golden counts for this seed and plan.
+	tot := chFault.TotalStats()
+	const wantDMARetries = 103
+	if tot.DMARetries != wantDMARetries {
+		t.Errorf("DMA retries = %d; want exactly %d", tot.DMARetries, wantDMARetries)
+	}
+	if tot.LinkRetries != 0 {
+		t.Errorf("link retries = %d; want 0 (FFBP uses the mesh, not links)", tot.LinkRetries)
+	}
+	if tot.DerateCycles <= 0 {
+		t.Errorf("derate cycles = %v; want > 0 (core 2 derated)", tot.DerateCycles)
+	}
+	remaps := chFault.Remaps()
+	if len(remaps) != 1 || remaps[0].From != 5 {
+		t.Fatalf("remaps = %+v; want exactly one remap off halted core 5", remaps)
+	}
+	const wantRemapTo = 1
+	if remaps[0].To != wantRemapTo {
+		t.Errorf("remap target = core %d; want nearest live neighbor %d", remaps[0].To, wantRemapTo)
+	}
+
+	// Quantified slowdown: the degraded run completes, later.
+	if chFault.MaxCycles() <= chClean.MaxCycles() {
+		t.Errorf("faulted run (%v cycles) not slower than clean (%v)",
+			chFault.MaxCycles(), chClean.MaxCycles())
+	}
+	t.Logf("GOLDEN ffbp: dmaretries=%d dmaretrycycles=%v deratecycles=%v remaps=%+v slowdown=%.3f",
+		tot.DMARetries, tot.DMARetryCycles, tot.DerateCycles, remaps,
+		chFault.MaxCycles()/chClean.MaxCycles())
+
+	if rep := conform.CheckAll(chFault); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+}
+
+// TestChaosAutofocusGolden pins the same contract for the link-heavy
+// MPMD autofocus pipeline under link faults and a dead core.
+func TestChaosAutofocusGolden(t *testing.T) {
+	pairs := testPairs(4)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, 11)
+	run := func(inj *fault.Injector) (*emu.Chip, [][]float64) {
+		ch := tracedChip(inj)
+		scores, err := ParAutofocus(ch, pairs, shifts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch, scores
+	}
+	chClean, cleanScores := run(nil)
+	chFault, faultScores := run(fault.MustCompile(afChaosPlan()))
+	chRerun, rerunScores := run(fault.MustCompile(afChaosPlan()))
+
+	if !reflect.DeepEqual(cleanScores, faultScores) {
+		t.Error("degraded pipeline produced different scores: faults must cost time, not correctness")
+	}
+	if !reflect.DeepEqual(rerunScores, faultScores) {
+		t.Error("rerun scores differ from first faulted run")
+	}
+	if chRerun.MaxCycles() != chFault.MaxCycles() {
+		t.Errorf("rerun cycles %v != first run cycles %v", chRerun.MaxCycles(), chFault.MaxCycles())
+	}
+	if !reflect.DeepEqual(chRerun.TotalStats(), chFault.TotalStats()) {
+		t.Errorf("rerun stats differ:\n%+v\n%+v", chRerun.TotalStats(), chFault.TotalStats())
+	}
+
+	// Exact golden counts for seed 777: every link retry is a priced,
+	// replayed decision, so the count is a fingerprint of the whole run.
+	tot := chFault.TotalStats()
+	const wantLinkRetries = 129
+	const wantRetryBytes = 5400
+	if tot.LinkRetries != wantLinkRetries {
+		t.Errorf("link retries = %d; want exactly %d", tot.LinkRetries, wantLinkRetries)
+	}
+	if tot.RetryBytes != wantRetryBytes {
+		t.Errorf("retry bytes = %d; want exactly %d", tot.RetryBytes, wantRetryBytes)
+	}
+	remaps := chFault.Remaps()
+	if len(remaps) != 1 || remaps[0].From != 7 || remaps[0].To != 15 {
+		t.Fatalf("remaps = %+v; want exactly {From:7 To:15}", remaps)
+	}
+
+	if chFault.MaxCycles() <= chClean.MaxCycles() {
+		t.Errorf("faulted run (%v cycles) not slower than clean (%v)",
+			chFault.MaxCycles(), chClean.MaxCycles())
+	}
+	t.Logf("GOLDEN autofocus: linkretries=%d retrybytes=%d retrycycles=%v remaps=%+v slowdown=%.3f",
+		tot.LinkRetries, tot.RetryBytes, tot.LinkRetryCycles, remaps,
+		chFault.MaxCycles()/chClean.MaxCycles())
+
+	if rep := conform.CheckAll(chFault); !rep.OK() {
+		t.Fatal(rep.Err())
+	}
+}

@@ -169,6 +169,12 @@ func SeqFFBP(m machine.Machine, mem machine.Alloc, data *mat.C, p sar.Params, bo
 // read directly from external memory, while results are always written
 // back to SDRAM with posted writes. Barriers separate merge iterations.
 //
+// Under a fault plan with halted cores the kernel degrades gracefully:
+// work is assigned per logical slot (the fault-free partition is
+// unchanged), and a halted core's slots move to its nearest live XY
+// neighbor via Chip.Assignments — the run completes with quantified
+// slowdown and a bit-identical image.
+//
 // The returned image is bit-identical to SeqFFBP on the same input.
 func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.SceneBox) (*mat.C, geom.PolarGrid, error) {
 	pl, err := newFFBPPlan(p, box, data)
@@ -177,6 +183,14 @@ func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.Scene
 	}
 	if nCores == 0 {
 		nCores = len(ch.Cores)
+	}
+	assign, err := ch.Assignments(nCores)
+	if err != nil {
+		return nil, geom.PolarGrid{}, fmt.Errorf("kernels: ffbp cannot degrade: %w", err)
+	}
+	slotsByCore := make(map[int][]int, nCores)
+	for slot, core := range assign {
+		slotsByCore[core] = append(slotsByCore[core], slot)
 	}
 	if p.NumBins*8 > ch.P.BankBytes {
 		return nil, geom.PolarGrid{}, fmt.Errorf("kernels: a %d-bin pulse does not fit one %d-byte local bank",
@@ -202,6 +216,12 @@ func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.Scene
 	nb := p.NumBins
 	var kernelErr error
 	ch.Run(nCores, func(c *emu.Core) {
+		// The logical work slots this core executes: its own, plus any it
+		// took over from a halted neighbor. Every phase loops over the
+		// slots between the same barriers, so the barrier structure — and,
+		// with the identity assignment, the whole run — is unchanged.
+		slots := slotsByCore[c.ID]
+
 		// Per-core local buffers: the two upper data banks (banks 2 and 3).
 		bankA, errA := machine.NewBufC(c.Bank(2), nb)
 		bankB, errB := machine.NewBufC(c.Bank(3), nb)
@@ -210,25 +230,27 @@ func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.Scene
 			return
 		}
 
-		// Stage 0: each core carrier-removes its slice of pulses, double-
+		// Stage 0: each slot carrier-removes its slice of pulses, double-
 		// buffering the DMA prefetch across the two banks.
-		rows := mat.Partition(p.NumPulses, nCores)[c.ID]
-		banks := [2]*machine.BufC{bankA, bankB}
-		var dmas [2]emu.DMA
-		for i := rows.Lo; i < rows.Hi; i++ {
-			b := (i - rows.Lo) % 2
-			if i == rows.Lo {
-				dmas[b] = c.DMACopyC(banks[b], 0, dataBuf, i*nb, nb)
-			}
-			c.DMAWait(dmas[b])
-			if i+1 < rows.Hi {
-				nb2 := (i + 1 - rows.Lo) % 2
-				dmas[nb2] = c.DMACopyC(banks[nb2], 0, dataBuf, (i+1)*nb, nb)
-			}
-			for col := 0; col < nb; col++ {
-				c.IOp(2)
-				v := banks[b].Load(c, col)
-				cur.Store(c, i*nb+col, pl.stage0Pixel(c, v, col))
+		for _, slot := range slots {
+			rows := mat.Partition(p.NumPulses, nCores)[slot]
+			banks := [2]*machine.BufC{bankA, bankB}
+			var dmas [2]emu.DMA
+			for i := rows.Lo; i < rows.Hi; i++ {
+				b := (i - rows.Lo) % 2
+				if i == rows.Lo {
+					dmas[b] = c.DMACopyC(banks[b], 0, dataBuf, i*nb, nb)
+				}
+				c.DMAWait(dmas[b])
+				if i+1 < rows.Hi {
+					nb2 := (i + 1 - rows.Lo) % 2
+					dmas[nb2] = c.DMACopyC(banks[nb2], 0, dataBuf, (i+1)*nb, nb)
+				}
+				for col := 0; col < nb; col++ {
+					c.IOp(2)
+					v := banks[b].Load(c, col)
+					cur.Store(c, i*nb+col, pl.stage0Pixel(c, v, col))
+				}
 			}
 		}
 		c.Barrier()
@@ -238,9 +260,9 @@ func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.Scene
 
 		// Merge iteration 1: children are single-pulse images that fit the
 		// two upper banks, so prefetch both by DMA and compute locally.
-		{
+		for _, slot := range slots {
 			s := 0
-			parents := mat.Partition(len(pl.stages[1]), nCores)[c.ID]
+			parents := mat.Partition(len(pl.stages[1]), nCores)[slot]
 			for j := parents.Lo; j < parents.Hi; j++ {
 				d0 := c.DMACopyC(bankA, 0, cur, pl.imageOff(0, 2*j), nb)
 				d1 := c.DMACopyC(bankB, 0, cur, pl.imageOff(0, 2*j+1), nb)
@@ -269,19 +291,21 @@ func ParFFBP(ch *emu.Chip, nCores int, data *mat.C, p sar.Params, box geom.Scene
 		// requires contributing data to be read from the external memory").
 		for s := 1; s < pl.numMerges(); s++ {
 			ntheta := pl.grids[s+1][0].NTheta
-			units := mat.Partition(len(pl.stages[s+1])*ntheta, nCores)[c.ID]
-			for u := units.Lo; u < units.Hi; u++ {
-				j := u / ntheta
-				bt := u % ntheta
-				chargeBeamSetup(c)
-				theta := pl.grids[s+1][j].Theta(bt)
-				outBase := pl.imageOff(s+1, j) + bt*nb
-				for bi := 0; bi < nb; bi++ {
-					v := pl.mergePixel(c, s, j, theta, bi,
-						func(child int, g geom.PolarGrid, r, th float64) complex64 {
-							return sampleNN(c, curL, pl.imageOff(s, 2*j+child), g, r, th)
-						})
-					nextL.Store(c, outBase+bi, v)
+			for _, slot := range slots {
+				units := mat.Partition(len(pl.stages[s+1])*ntheta, nCores)[slot]
+				for u := units.Lo; u < units.Hi; u++ {
+					j := u / ntheta
+					bt := u % ntheta
+					chargeBeamSetup(c)
+					theta := pl.grids[s+1][j].Theta(bt)
+					outBase := pl.imageOff(s+1, j) + bt*nb
+					for bi := 0; bi < nb; bi++ {
+						v := pl.mergePixel(c, s, j, theta, bi,
+							func(child int, g geom.PolarGrid, r, th float64) complex64 {
+								return sampleNN(c, curL, pl.imageOff(s, 2*j+child), g, r, th)
+							})
+						nextL.Store(c, outBase+bi, v)
+					}
 				}
 			}
 			c.Barrier()

@@ -72,6 +72,8 @@ var timelineGlyphs = [numKinds]byte{
 	KindPhaseCompute:   'C',
 	KindPhaseBandwidth: 'B',
 	KindService:        's',
+	KindFaultLink:      'X',
+	KindFaultDMA:       'x',
 }
 
 // WriteTimeline renders the tracks as a fixed-width plain-text timeline:

@@ -52,6 +52,12 @@ const (
 	KindPhaseBandwidth
 	// KindService is ext-channel service time consumed by a phase.
 	KindService
+	// KindFaultLink is an injected link-transfer failure: the timeout plus
+	// backoff a producer pays before retransmitting a block.
+	KindFaultLink
+	// KindFaultDMA is an injected DMA completion timeout delaying a
+	// descriptor's finish time.
+	KindFaultDMA
 	numKinds
 )
 
@@ -66,6 +72,8 @@ var kindNames = [numKinds]string{
 	KindPhaseCompute:   "phase.compute",
 	KindPhaseBandwidth: "phase.bandwidth",
 	KindService:        "service",
+	KindFaultLink:      "fault.link",
+	KindFaultDMA:       "fault.dma",
 }
 
 // String returns the kind's metric-style name (e.g. "stall.ext").

@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"sarmany/internal/emu"
+	"sarmany/internal/energy"
+)
+
+// DegradationRow is one fault mechanism's measured cost on one target: the
+// retransmissions of a single faulty link, one core's DMA timeout waits,
+// one core's frequency-derate stretch, or the tile slots moved off one
+// halted core.
+type DegradationRow struct {
+	// Kind names the mechanism: "link-retry", "dma-retry", "derate" or
+	// "remap".
+	Kind string `json:"kind"`
+	// Target locates the row: "link 3->7" or "core 5".
+	Target string `json:"target"`
+	// Events counts the mechanism's firings: retries for the retry kinds,
+	// halted-commit windows are not counted individually so derate rows
+	// report 0, remap rows count the slots moved off the core.
+	Events uint64 `json:"events"`
+	// Cycles is the extra modeled time the mechanism injected on this
+	// target (0 for remap rows — moving a slot is free, the doubled work
+	// on the taker shows up as ordinary compute).
+	Cycles float64 `json:"cycles"`
+	// EnergyJ prices the row: retransmitted bytes at the mesh-network
+	// per-byte cost plus static power over the injected cycles.
+	EnergyJ float64 `json:"energy_j"`
+}
+
+// Degradation is the fault-cost report of a run executed under a fault
+// plan: one row per (mechanism, target) pair, plus whole-run overhead
+// totals measured independently from the aggregate counters. The rows sum
+// to the totals — conform.CheckProfile asserts it.
+type Degradation struct {
+	// HaltedCores lists the plan's hard-halted cores (ascending).
+	HaltedCores []int `json:"halted_cores,omitempty"`
+	// RemappedSlots counts work slots that ran on a different core than
+	// the fault-free mapping would have used.
+	RemappedSlots int `json:"remapped_slots"`
+	// Rows holds the per-target cost rows, link retries first, then DMA
+	// retries, derates and remaps.
+	Rows []DegradationRow `json:"rows"`
+	// OverheadCycles is the whole-run fault overhead measured from the
+	// aggregate core statistics: link retry + DMA retry + derate cycles.
+	OverheadCycles float64 `json:"overhead_cycles"`
+	// OverheadEnergyJ prices OverheadCycles and the retransmitted traffic
+	// with the same linear model the rows use.
+	OverheadEnergyJ float64 `json:"overhead_energy_j"`
+}
+
+// buildDegradation assembles the fault report for a run that carried a
+// non-empty fault plan; it returns nil for fault-free runs.
+func buildDegradation(ch *emu.Chip) *Degradation {
+	inj := ch.Faults()
+	if inj == nil || inj.Empty() {
+		return nil
+	}
+	clock := ch.P.Clock
+	d := &Degradation{RemappedSlots: len(ch.Remaps())}
+	for _, id := range inj.HaltedCores() {
+		if id < len(ch.Cores) {
+			d.HaltedCores = append(d.HaltedCores, id)
+		}
+	}
+
+	for _, l := range ch.LinkStats() {
+		if l.Retries == 0 && l.RetryBytes == 0 && l.RetryCycles == 0 {
+			continue
+		}
+		d.Rows = append(d.Rows, DegradationRow{
+			Kind:   "link-retry",
+			Target: fmt.Sprintf("link %d->%d", l.From, l.To),
+			Events: l.Retries,
+			Cycles: l.RetryCycles,
+			EnergyJ: energy.NoCEnergyJ(l.RetryBytes) +
+				energy.StaticEnergyJ(l.RetryCycles/clock),
+		})
+	}
+	n := ch.ActiveCount()
+	for i := 0; i < n; i++ {
+		s := &ch.Cores[i].Stats
+		if s.DMARetries > 0 || s.DMARetryCycles > 0 {
+			d.Rows = append(d.Rows, DegradationRow{
+				Kind:    "dma-retry",
+				Target:  fmt.Sprintf("core %d", i),
+				Events:  s.DMARetries,
+				Cycles:  s.DMARetryCycles,
+				EnergyJ: energy.StaticEnergyJ(s.DMARetryCycles / clock),
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := &ch.Cores[i].Stats
+		if s.DerateCycles > 0 {
+			d.Rows = append(d.Rows, DegradationRow{
+				Kind:    "derate",
+				Target:  fmt.Sprintf("core %d", i),
+				Cycles:  s.DerateCycles,
+				EnergyJ: energy.StaticEnergyJ(s.DerateCycles / clock),
+			})
+		}
+	}
+	slotsOff := map[int]uint64{}
+	for _, m := range ch.Remaps() {
+		slotsOff[m.From]++
+	}
+	froms := make([]int, 0, len(slotsOff))
+	for from := range slotsOff {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		d.Rows = append(d.Rows, DegradationRow{
+			Kind:   "remap",
+			Target: fmt.Sprintf("core %d", from),
+			Events: slotsOff[from],
+		})
+	}
+
+	// The overhead totals come from the aggregate counters, not from the
+	// rows, so a row that went missing (or was double-counted) is a
+	// checkable inconsistency rather than a silently wrong report.
+	t := ch.TotalStats()
+	d.OverheadCycles = t.LinkRetryCycles + t.DMARetryCycles + t.DerateCycles
+	d.OverheadEnergyJ = energy.NoCEnergyJ(t.RetryBytes) +
+		energy.StaticEnergyJ(d.OverheadCycles/clock)
+	return d
+}

@@ -22,6 +22,17 @@ type htmlView struct {
 	Total   htmlPhase
 	Grid    [][]htmlCell
 	Links   []htmlLink
+	Faults  *htmlFaults
+}
+
+type htmlFaults struct {
+	Halted   string
+	Rows     []htmlFaultRow
+	Overhead htmlFaultRow
+}
+
+type htmlFaultRow struct {
+	Kind, Target, Events, Cycles, EnergyJ, Note string
 }
 
 type htmlCause struct {
@@ -108,6 +119,27 @@ func newHTMLView(p *Profile) htmlView {
 		}
 		v.Grid = append(v.Grid, row)
 	}
+	if d := p.Faults; d != nil {
+		f := &htmlFaults{}
+		if len(d.HaltedCores) > 0 {
+			f.Halted = fmt.Sprintf("halted cores %v, %d slot(s) remapped", d.HaltedCores, d.RemappedSlots)
+		}
+		for _, r := range d.Rows {
+			f.Rows = append(f.Rows, htmlFaultRow{
+				Kind: r.Kind, Target: r.Target,
+				Events:  fmt.Sprintf("%d", r.Events),
+				Cycles:  fmt.Sprintf("%.0f", r.Cycles),
+				EnergyJ: fmt.Sprintf("%.3e", r.EnergyJ),
+			})
+		}
+		f.Overhead = htmlFaultRow{
+			Kind:    "overhead",
+			Cycles:  fmt.Sprintf("%.0f", d.OverheadCycles),
+			EnergyJ: fmt.Sprintf("%.3e", d.OverheadEnergyJ),
+			Note:    fmt.Sprintf("%.2f%% of run", 100*d.OverheadCycles/p.RunCycles),
+		}
+		v.Faults = f
+	}
 	for _, l := range p.Heatmap.Links {
 		v.Links = append(v.Links, htmlLink{
 			Name:     fmt.Sprintf("%d → %d (%d hops)", l.From, l.To, l.Hops),
@@ -154,6 +186,14 @@ tr.total td { border-top: 1px solid #999; font-weight: 600; }
 {{range .Phases}}<tr><td>{{.Name}}</td><td>{{.Cycles}}</td><td>{{.Bound}}</td><td>{{.Roofline}}</td><td>{{.Compute}}</td><td>{{.LocalMem}}</td><td>{{.NoC}}</td><td>{{.ELink}}</td><td>{{.Static}}</td><td>{{.TotalJ}}</td><td>{{.FlopPerCycle}}</td><td>{{.BytePerCycle}}</td></tr>
 {{end}}{{with .Total}}<tr class="total"><td>{{.Name}}</td><td>{{.Cycles}}</td><td></td><td></td><td>{{.Compute}}</td><td>{{.LocalMem}}</td><td>{{.NoC}}</td><td>{{.ELink}}</td><td>{{.Static}}</td><td>{{.TotalJ}}</td><td colspan="2">{{.Note}}</td></tr>{{end}}
 </table>
+
+{{with .Faults}}<h2>Fault degradation</h2>
+{{if .Halted}}<p>{{.Halted}}</p>{{end}}
+<table>
+<tr><th>kind</th><th>target</th><th>events</th><th>cycles</th><th>energy J</th><th></th></tr>
+{{range .Rows}}<tr><td>{{.Kind}}</td><td>{{.Target}}</td><td>{{.Events}}</td><td>{{.Cycles}}</td><td>{{.EnergyJ}}</td><td></td></tr>
+{{end}}{{with .Overhead}}<tr class="total"><td>{{.Kind}}</td><td></td><td></td><td>{{.Cycles}}</td><td>{{.EnergyJ}}</td><td>{{.Note}}</td></tr>{{end}}
+</table>{{end}}
 
 <h2>Mesh heatmap (busy fraction)</h2>
 <table class="grid">

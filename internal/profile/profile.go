@@ -54,6 +54,12 @@ type Profile struct {
 	// Heatmap locates utilization and traffic on the mesh.
 	Heatmap Heatmap `json:"heatmap"`
 
+	// Faults is the degradation report of a run executed under a
+	// non-empty fault plan: per-target cost rows for link retransmission,
+	// DMA timeouts, frequency derating and slot remapping, with
+	// whole-run overhead totals the rows sum to. Nil for fault-free runs.
+	Faults *Degradation `json:"faults,omitempty"`
+
 	// DroppedSpans counts trace-ring overflow across all tracks. When
 	// nonzero the early part of the trace is missing and the critical
 	// path may start from a truncated picture; reports carry a warning.
@@ -80,6 +86,7 @@ func AnalyzeChip(ch *emu.Chip) (*Profile, error) {
 	p.Phases = attributePhases(ch)
 	p.Critical = criticalPath(ch)
 	p.Heatmap = buildHeatmap(ch)
+	p.Faults = buildDegradation(ch)
 	return p, nil
 }
 

@@ -63,6 +63,21 @@ func (p *Profile) WriteText(w io.Writer) error {
 		t.ComputeJ, t.LocalMemJ, t.NoCJ, t.ELinkJ, t.StaticJ, t.Total(),
 		t.AveragePower(p.Seconds))
 
+	if d := p.Faults; d != nil {
+		b.WriteString("\nfault degradation (cost of the injected fault plan):\n")
+		if len(d.HaltedCores) > 0 {
+			fmt.Fprintf(b, "  halted cores: %v, %d slot(s) remapped\n", d.HaltedCores, d.RemappedSlots)
+		}
+		fmt.Fprintf(b, "  %-11s %-12s %8s %14s %12s\n", "kind", "target", "events", "cycles", "energy J")
+		for _, r := range d.Rows {
+			fmt.Fprintf(b, "  %-11s %-12s %8d %14.0f %12.3e\n",
+				r.Kind, r.Target, r.Events, r.Cycles, r.EnergyJ)
+		}
+		fmt.Fprintf(b, "  %-11s %-12s %8s %14.0f %12.3e  (%.2f%% of run)\n",
+			"overhead", "", "", d.OverheadCycles, d.OverheadEnergyJ,
+			100*d.OverheadCycles/p.RunCycles)
+	}
+
 	b.WriteString("\nmesh heatmap (per-core busy fraction):\n")
 	for r := 0; r < p.Heatmap.Rows; r++ {
 		b.WriteString("  ")

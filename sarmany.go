@@ -12,6 +12,7 @@ import (
 	"sarmany/internal/conform"
 	"sarmany/internal/emu"
 	"sarmany/internal/energy"
+	"sarmany/internal/fault"
 	"sarmany/internal/ffbp"
 	"sarmany/internal/fft"
 	"sarmany/internal/gbp"
@@ -498,3 +499,55 @@ func NewTracer(clockHz float64) *Tracer { return obs.NewTracer(clockHz) }
 // ProfileChip analyzes a completed traced run (the chip must have had a
 // tracer attached before the kernel ran).
 func ProfileChip(chip *Epiphany) (*RunProfile, error) { return profile.AnalyzeChip(chip) }
+
+// Deterministic fault injection.
+type (
+	// FaultPlan is one declarative fault scenario: hard-halted cores,
+	// per-core frequency derates, an SDRAM bandwidth cut, and seeded
+	// probabilistic link/DMA faults. The zero plan injects nothing.
+	FaultPlan = fault.Plan
+	// FaultInjector is a compiled, validated plan ready to attach to an
+	// Epiphany chip with Epiphany.SetFaults. The same injector replayed
+	// over the same workload is bit-identical.
+	FaultInjector = fault.Injector
+	// LinkFault, DMAFault and CoreDerate are the plan's entry types.
+	LinkFault  = fault.LinkFault
+	DMAFault   = fault.DMAFault
+	CoreDerate = fault.Derate
+	// DegradationReport is the profiler's fault-cost section: per-target
+	// rows for retransmission, DMA timeouts, derating and remapping that
+	// sum to the measured whole-run overhead (RunProfile.Faults).
+	DegradationReport = profile.Degradation
+	// ChaosPoint is one fault-severity measurement of RunChaosSweep.
+	ChaosPoint = bench.ChaosPoint
+)
+
+// ParseFaultPlan reads the line-oriented fault-plan text format (see
+// internal/fault: "halt 5", "derate 3 1.5", "link 0 1 0.1 timeout 500",
+// "dma * 0.02", "ext-derate 0.5", "seed 42").
+func ParseFaultPlan(text string) (FaultPlan, error) { return fault.Parse(text) }
+
+// ParseFaultPlanFile reads and parses a fault-plan file.
+func ParseFaultPlanFile(path string) (FaultPlan, error) { return fault.ParseFile(path) }
+
+// CompileFaultPlan validates a plan and compiles it into an injector;
+// attach the result with Epiphany.SetFaults before running a kernel. An
+// empty plan compiles to a no-op injector: the run is bit-identical to an
+// uninjected one.
+func CompileFaultPlan(p FaultPlan) (*FaultInjector, error) { return p.Compile() }
+
+// ChaosFaultPlan builds the canonical chaos-sweep plan for a severity in
+// [0, 1] on a run using the given core count: severity-scaled link and
+// DMA fault rates, a derated core, a throttled SDRAM channel, and — at
+// severity 1 — one hard-halted core.
+func ChaosFaultPlan(severity float64, cores int) FaultPlan {
+	return bench.ChaosPlan(severity, cores)
+}
+
+// RunChaosSweep measures parallel FFBP under a grid of fault severities —
+// the degradation curve of graceful completion. Every point records
+// modeled time, energy, retry/remap counts and whether the degraded run
+// still passed the conformance checker.
+func RunChaosSweep(ctx context.Context, cfg ExperimentConfig, severities []float64) ([]ChaosPoint, error) {
+	return bench.RunChaos(ctx, cfg, severities)
+}

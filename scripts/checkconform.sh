@@ -32,3 +32,20 @@ fi
 
 echo "checkconform: emulator changes in $range are covered by:"
 echo "$tests" | sed 's/^/  /'
+
+# Fault-model changes get the same treatment: any non-test change under
+# internal/fault/ or to the emulator's fault hooks must ride with a chaos
+# or fault test, so injected costs stay pinned by goldens.
+faultmodel=$(echo "$changed" | grep -E '^(internal/fault/|internal/emu/fault)' | grep -v '_test\.go$' || true)
+if [ -n "$faultmodel" ]; then
+	faulttests=$(echo "$changed" | grep -E '^(internal/fault/[^/]*_test\.go|internal/emu/fault_test\.go|internal/kernels/chaos_test\.go|internal/conform/faults_test\.go)' || true)
+	if [ -z "$faulttests" ]; then
+		echo "checkconform: fault-model files changed in $range without a chaos or fault test:"
+		echo "$faultmodel" | sed 's/^/  /'
+		echo "add or update a test under internal/fault/, internal/emu/fault_test.go,"
+		echo "internal/kernels/chaos_test.go or internal/conform/faults_test.go"
+		exit 1
+	fi
+	echo "checkconform: fault-model changes in $range are covered by:"
+	echo "$faulttests" | sed 's/^/  /'
+fi
