@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff baseline docscheck clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff baseline docscheck ledgersmoke clean
 
 all: check
 
@@ -92,6 +92,21 @@ baseline: sweepbench profbench
 # docscheck fails when any package lacks a package doc comment.
 docscheck:
 	./scripts/checkdocs.sh
+
+# ledgersmoke is the determinism contract of the run ledger end to end:
+# two identical epirun invocations must record manifests whose every
+# cycle and energy leaf agrees exactly (sarlog diff -gate exits 0), with
+# the advisory id/start rows proving the delta table was not empty.
+ledgersmoke:
+	rm -rf out/ledgersmoke
+	$(GO) run ./cmd/epirun -kernel ffbp-par -small -ledger out/ledgersmoke
+	$(GO) run ./cmd/epirun -kernel ffbp-par -small -ledger out/ledgersmoke
+	$(GO) run ./cmd/sarlog diff -dir out/ledgersmoke -gate @-2 @-1 > out/ledgersmoke.diff; \
+		status=$$?; cat out/ledgersmoke.diff; exit $$status
+	@grep -q '(advisory)' out/ledgersmoke.diff || \
+		{ echo "ledgersmoke: delta table empty"; exit 1; }
+	@grep -q ' 0 regressions' out/ledgersmoke.diff || \
+		{ echo "ledgersmoke: non-advisory divergence between identical runs"; exit 1; }
 
 clean:
 	rm -rf out

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strings"
+	"time"
 
 	"sarmany/internal/autofocus"
 	"sarmany/internal/ffbp"
@@ -26,6 +28,7 @@ import (
 	"sarmany/internal/mat"
 	"sarmany/internal/quality"
 	"sarmany/internal/sar"
+	"sarmany/internal/telemetry"
 )
 
 func main() {
@@ -38,9 +41,11 @@ func main() {
 		// The 4-tap Neville window supports shifts up to ~1.5 pixels;
 		// beyond that the cubic extrapolates and the criterion is
 		// meaningless.
-		maxPx = flag.Float64("max", 1.5, "sweep half-range in range pixels (<= 1.5)")
+		maxPx   = flag.Float64("max", 1.5, "sweep half-range in range pixels (<= 1.5)")
+		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	p := sar.DefaultParams()
 	p.NumPulses = 256
@@ -81,6 +86,32 @@ func main() {
 	}
 	fmt.Printf("best compensation: %.2f pixels (%.2f m)\n", best.Shift.DRange, best.Shift.DRange*p.DR)
 	_ = grid
+
+	// Record the criterion sweep in the run ledger: the injected error
+	// and sweep shape as config, the best compensation and its score as
+	// deterministic extras a sarlog diff can gate on.
+	if *ledgerD != "" {
+		e, lerr := telemetry.NewEntry("autofocus", start, map[string]any{
+			"error_m": displacement,
+			"sweep":   *n,
+			"max_px":  *maxPx,
+			"params":  p,
+		}, fmt.Sprintf("error=%g", displacement), fmt.Sprintf("sweep=%d", *n))
+		if lerr != nil {
+			log.Printf("ledger: %v", lerr)
+		} else {
+			e.Extra = map[string]any{
+				"best_shift_px": best.Shift.DRange,
+				"best_shift_m":  best.Shift.DRange * p.DR,
+				"best_score":    best.Score,
+			}
+			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
+				log.Printf("ledger: %v", lerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "autofocus: run %s recorded in %s\n", id, *ledgerD)
+			}
+		}
+	}
 }
 
 func maxScore(rs []autofocus.Result) (int, autofocus.Result, float64) {

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"sarmany/internal/mat"
 	"sarmany/internal/quality"
 	"sarmany/internal/report"
+	"sarmany/internal/telemetry"
 )
 
 func main() {
@@ -44,8 +46,10 @@ func main() {
 		dynDB   = flag.Float64("db", 50, "rendering dynamic range in dB")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		ground  = flag.Float64("ground", 0, "also write a geocoded ground raster at this resolution in metres (suffix _ground)")
+		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
 	flag.Parse()
+	wallStart := time.Now()
 
 	p, data, err := dataio.ReadFile(*in)
 	if err != nil {
@@ -105,6 +109,36 @@ func main() {
 	pr, pc, pv := quality.Peak(m)
 	fmt.Printf("%s/%s: %dx%d image in %v; peak %.1f at (beam %d, bin %d); sharpness %.1f\n",
 		*algo, kind, img.Rows, img.Cols, elapsed.Round(time.Millisecond), pv, pr, pc, quality.Sharpness(m))
+
+	// Record the image formation in the run ledger: input identity,
+	// algorithm configuration, and the deterministic quality scalars —
+	// peak position/value and sharpness — that sarlog diff can gate on.
+	if *ledgerD != "" {
+		e, lerr := telemetry.NewEntry("backproject", wallStart, map[string]any{
+			"algo":   *algo,
+			"interp": *kindStr,
+			"params": p,
+		}, "algo="+*algo, "interp="+*kindStr)
+		if lerr != nil {
+			log.Printf("ledger: %v", lerr)
+		} else {
+			e.Extra = map[string]any{
+				"input":      *in,
+				"rows":       img.Rows,
+				"cols":       img.Cols,
+				"peak_beam":  pr,
+				"peak_bin":   pc,
+				"peak_value": pv,
+				"sharpness":  quality.Sharpness(m),
+				"seconds":    elapsed.Seconds(),
+			}
+			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
+				log.Printf("ledger: %v", lerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "backproject: run %s recorded in %s\n", id, *ledgerD)
+			}
+		}
+	}
 
 	if *out != "" {
 		if err := imageio.Save(*out, img, *dynDB); err != nil {

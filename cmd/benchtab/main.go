@@ -33,11 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sarmany/internal/bench"
 	"sarmany/internal/obs"
 	"sarmany/internal/report"
 	"sarmany/internal/sweep"
+	"sarmany/internal/telemetry"
 )
 
 // experiments maps -exp keys to display titles, in -exp all order.
@@ -65,7 +67,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "result cache directory (empty = no caching)")
 	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
 	metricF := flag.String("metrics", "", "write a sweep metrics snapshot JSON file")
+	ledgerD := flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	flag.Parse()
+	start := time.Now()
 
 	cfg := report.Default()
 	if *small {
@@ -133,6 +137,42 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	// Record the invocation in the run ledger: parameters, the sweep
+	// metric snapshot (sweep.job.seconds p50/p99 ride along), and — for a
+	// single-experiment run — the bench envelope itself, so sarlog diff
+	// can attribute result drift leaf by leaf.
+	if *ledgerD != "" {
+		cached := 0
+		for _, r := range results {
+			if r.Cached {
+				cached++
+			}
+		}
+		e, err := telemetry.NewEntry("benchtab", start, map[string]any{
+			"exp":    *exp,
+			"small":  *small,
+			"params": cfg.Params,
+		}, "exp="+*exp, fmt.Sprintf("small=%v", *small))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: ledger: %v\n", err)
+		} else {
+			e.Metrics = telemetry.MetricsMap(reg.Snapshot())
+			e.Extra = map[string]any{
+				"experiments": len(results),
+				"cached":      cached,
+				"failed":      failed,
+			}
+			if len(results) == 1 && results[0].Err == nil && len(results[0].Raw) > 0 {
+				e.Envelope = results[0].Raw
+			}
+			if id, err := telemetry.Record(*ledgerD, e); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: ledger: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchtab: run %s recorded in %s\n", id, *ledgerD)
+			}
 		}
 	}
 

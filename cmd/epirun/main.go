@@ -18,6 +18,22 @@
 //	epirun -json                            # machine-readable summary on stdout
 //	epirun -check                           # verify run invariants afterwards
 //	epirun -faults plan.txt                 # inject a deterministic fault plan
+//	epirun -watch                           # live per-core progress on stderr
+//	epirun -stallafter 30s                  # watchdog: post-mortem if wedged
+//	epirun -deadline 5m                     # post-mortem past the wall budget
+//	epirun -ledger ''                       # skip the out/runs run ledger
+//
+// Every run appends a provenance manifest — parameters, fault plan,
+// code version, metric snapshot, modeled energy — to the content-
+// addressed run ledger under -ledger (default out/runs; empty
+// disables). Query the history with sarlog (list/show/diff/trend).
+//
+// -watch drives a heartbeat goroutine that samples per-core progress
+// (race-free atomic cells, no effect on modeled cycles) and renders a
+// live status line. -stallafter and -deadline arm a watchdog on the
+// same heartbeat: if the chip stops advancing (or the wall budget
+// expires) it dumps the flight-recorder event ring and all goroutine
+// stacks to a post-mortem file and the run is marked stalled.
 //
 // A -faults plan (see internal/fault for the format) degrades the run:
 // halted cores have their tile work remapped to live neighbors, faulty
@@ -38,6 +54,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"sarmany/internal/autofocus"
 	"sarmany/internal/conform"
@@ -49,6 +66,7 @@ import (
 	"sarmany/internal/refcpu"
 	"sarmany/internal/report"
 	"sarmany/internal/sar"
+	"sarmany/internal/telemetry"
 )
 
 // summary is the -json output: identity, modeled time, and the full
@@ -86,8 +104,15 @@ func main() {
 		jsonOut = flag.Bool("json", false, "print a machine-readable summary instead of tables")
 		check   = flag.Bool("check", false, "run the conformance checker on the completed run (Epiphany kernels)")
 		faultsF = flag.String("faults", "", "fault plan file to inject (Epiphany kernels)")
+		watch   = flag.Bool("watch", false, "live per-core progress line on stderr (Epiphany kernels)")
+		heartD  = flag.Duration("heartbeat", 200*time.Millisecond, "flight-recorder sampling interval for -watch/-stallafter/-deadline")
+		stallD  = flag.Duration("stallafter", 0, "dump a post-mortem if the chip makes no progress for this long (0 = off)")
+		deadlD  = flag.Duration("deadline", 0, "dump a post-mortem when the run exceeds this wall-clock budget (0 = off)")
+		pmF     = flag.String("postmortem", "", "post-mortem dump path (default out/postmortem-<pid>.txt)")
+		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	cfg := report.Default()
 	if *small {
@@ -111,6 +136,9 @@ func main() {
 		if *faultsF != "" {
 			log.Fatal("-faults injects into the Epiphany model; it does not apply to the Intel reference kernels")
 		}
+		if *watch || *stallD > 0 || *deadlD > 0 {
+			log.Fatal("-watch/-stallafter/-deadline sample the Epiphany chip's progress cells; they do not apply to the Intel reference kernels")
+		}
 		cpu := refcpu.New(cfg.Intel)
 		var tracer *obs.Tracer
 		if *traceF != "" {
@@ -132,11 +160,17 @@ func main() {
 		// tracer's span accounting into the one instance we snapshot.
 		reg := cpu.Metrics()
 		tracer.PublishMetrics(reg)
-		writeMetrics(*metricF, reg.Snapshot())
+		snap := reg.Snapshot()
+		writeMetrics(*metricF, snap)
+		recordRun(*ledgerD, ledgerEntry(start, cfg, snap, map[string]any{
+			"machine": "intel-i7",
+			"cycles":  cpu.Cycles(),
+			"seconds": cpu.Seconds(),
+		}, runArgs{kernel: *kernel, cores: 1, small: *small}))
 		if *jsonOut {
 			writeSummary(summary{Kernel: *kernel, Machine: "intel-i7", Cores: 1,
 				ClockHz: cpu.P.Clock, Cycles: cpu.Cycles(), Seconds: cpu.Seconds(),
-				Metrics: reg.Snapshot()})
+				Metrics: snap})
 			return
 		}
 		fmt.Printf("%s on Intel i7 model @ %.2f GHz\n", *kernel, cpu.P.Clock/1e9)
@@ -163,6 +197,8 @@ func main() {
 		tracer.SetCapacity(*traceN)
 		ch.SetTracer(tracer)
 	}
+	var planText []byte
+	var planSeed int64
 	if *faultsF != "" {
 		plan, err := fault.ParseFile(*faultsF)
 		if err != nil {
@@ -176,8 +212,50 @@ func main() {
 			log.Fatal(err)
 		}
 		ch.SetFaults(inj)
+		planText, err = os.ReadFile(*faultsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		planSeed = plan.Seed
 		fmt.Fprintf(os.Stderr, "epirun: fault plan %s: %d halt(s), %d derate(s), %d link fault(s), %d dma fault(s), seed %d\n",
 			*faultsF, len(plan.Halts), len(plan.Derates), len(plan.Links), len(plan.DMAs), plan.Seed)
+	}
+
+	// The flight recorder: a heartbeat goroutine sampling the chip's
+	// atomic progress cells, driving the -watch status line and the
+	// stall/deadline watchdog. Progress publication never changes modeled
+	// cycles (see emu/progress.go), so an instrumented run stays
+	// cycle-identical to a plain one.
+	var rec *telemetry.Recorder
+	if *watch || *stallD > 0 || *deadlD > 0 {
+		ch.EnableProgress()
+		var statusW *os.File
+		if *watch {
+			statusW = os.Stderr
+		}
+		ring := obs.NewEventRing(obs.DefaultEventCapacity)
+		if tracer != nil {
+			ring = tracer.Events()
+		}
+		ring.Addf("run start: kernel=%s cores=%d mesh=%s", *kernel, *cores, *mesh)
+		opts := telemetry.Options{
+			Progress: func() telemetry.Sample {
+				p, _ := ch.Progress()
+				return telemetry.Sample{Total: p.TotalCycles(), Max: p.MaxCycles(), Phases: p.Phases, Cores: p.Cores}
+			},
+			Events:         ring,
+			Interval:       *heartD,
+			StallAfter:     *stallD,
+			Deadline:       *deadlD,
+			PostmortemPath: *pmF,
+			OnDump: func(path, reason string) {
+				fmt.Fprintf(os.Stderr, "\nepirun: %s — post-mortem written to %s\n", reason, path)
+			},
+		}
+		if statusW != nil {
+			opts.Status = statusW
+		}
+		rec = telemetry.Start(opts)
 	}
 	var used int
 	switch *kernel {
@@ -205,6 +283,10 @@ func main() {
 		log.Fatalf("unknown kernel %q", *kernel)
 	}
 
+	if rec != nil {
+		rec.Stop()
+	}
+
 	// EPIRUN_TAMPER corrupts one cycle counter before -check runs: the
 	// test suite's way to pin the conformance-failure exit status without
 	// a real accounting bug to trip over.
@@ -221,16 +303,53 @@ func main() {
 
 	writeTrace(*traceF, tracer)
 	// Metrics() builds the registry fresh each call, so publish the
-	// tracer's span accounting into the one instance we snapshot.
+	// tracer's span accounting into the one instance we snapshot. Energy
+	// gauges ride along so the ledger diff covers nanojoules as well as
+	// cycles.
 	reg := ch.Metrics()
 	tracer.PublishMetrics(reg)
-	writeMetrics(*metricF, reg.Snapshot())
+	// The chip's makespan, named so "sarlog trend metrics.emu.cycles.total"
+	// works out of the box.
+	reg.Gauge("emu.cycles.total").Set(ch.MaxCycles())
+	eb := energy.EpiphanyBreakdown(ch.TotalStats(), ch.Time())
+	reg.Gauge("energy.total_j").Set(eb.Total())
+	reg.Gauge("energy.compute_j").Set(eb.ComputeJ)
+	reg.Gauge("energy.local_mem_j").Set(eb.LocalMemJ)
+	reg.Gauge("energy.noc_j").Set(eb.NoCJ)
+	reg.Gauge("energy.elink_j").Set(eb.ELinkJ)
+	reg.Gauge("energy.static_j").Set(eb.StaticJ)
+	reg.Gauge("energy.avg_w").Set(eb.AveragePower(ch.Time()))
+	snap := reg.Snapshot()
+	writeMetrics(*metricF, snap)
+
+	machine := fmt.Sprintf("epiphany-%dx%d", cfg.Epiphany.Rows, cfg.Epiphany.Cols)
+	extra := map[string]any{
+		"machine": machine,
+		"cycles":  ch.MaxCycles(),
+		"seconds": ch.Time(),
+	}
+	if rec != nil && rec.Stalled() {
+		extra["stalled"] = true
+		extra["postmortem"] = rec.PostmortemFile()
+	}
+	e := ledgerEntry(start, cfg, snap, extra, runArgs{kernel: *kernel, cores: used, mesh: *mesh, small: *small})
+	if planText != nil {
+		planDoc, err := json.Marshal(string(planText))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.FaultPlan = planDoc
+		e.FaultHash = telemetry.HashJSON(planText)
+		e.Seed = planSeed
+	}
+	recordRun(*ledgerD, e)
+
 	if *jsonOut {
 		writeSummary(summary{Kernel: *kernel,
-			Machine: fmt.Sprintf("epiphany-%dx%d", cfg.Epiphany.Rows, cfg.Epiphany.Cols),
+			Machine: machine,
 			Cores:   used, ClockHz: cfg.Epiphany.Clock,
 			Cycles: ch.MaxCycles(), Seconds: ch.Time(),
-			Metrics: reg.Snapshot()})
+			Metrics: snap})
 		return
 	}
 
@@ -316,6 +435,55 @@ func writeSummary(s summary) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runArgs carries the flag identity of a run for the ledger manifest.
+type runArgs struct {
+	kernel string
+	cores  int
+	mesh   string
+	small  bool
+}
+
+// ledgerEntry assembles the provenance manifest of one run: the full
+// parameter document (hashed for identity), code version, host shape,
+// the metric snapshot in named-leaf form, and tool-specific extras.
+func ledgerEntry(start time.Time, cfg report.Config, snap obs.Snapshot, extra map[string]any, a runArgs) telemetry.Entry {
+	args := []string{
+		"kernel=" + a.kernel,
+		fmt.Sprintf("cores=%d", a.cores),
+		fmt.Sprintf("small=%v", a.small),
+	}
+	if a.mesh != "" {
+		args = append(args, "mesh="+a.mesh)
+	}
+	e, err := telemetry.NewEntry("epirun", start, map[string]any{
+		"kernel": a.kernel,
+		"cores":  a.cores,
+		"mesh":   a.mesh,
+		"small":  a.small,
+		"params": cfg.Params,
+	}, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.Metrics = telemetry.MetricsMap(snap)
+	e.Extra = extra
+	return e
+}
+
+// recordRun appends the entry to the run ledger; -ledger ” disables.
+// Ledger failures warn rather than fail the run — observability must
+// never break the simulation it observes.
+func recordRun(dir string, e telemetry.Entry) {
+	id, err := telemetry.Record(dir, e)
+	if err != nil {
+		log.Printf("ledger: %v", err)
+		return
+	}
+	if id != "" {
+		fmt.Fprintf(os.Stderr, "epirun: run %s recorded in %s\n", id, dir)
 	}
 }
 

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sarmany/internal/bench"
+	"sarmany/internal/telemetry"
 )
 
 // TestMain lets the test re-execute this binary as epirun itself: when
@@ -37,9 +40,12 @@ dma * 0.5 timeout 50 retries 1
 }
 
 // runEpirun re-executes the test binary as epirun and returns its exit
-// code and combined output.
+// code and combined output. A throwaway -ledger directory is injected
+// first so tests never write into the repo's out/runs; later -ledger
+// occurrences in args still win (flag.Parse keeps the last value).
 func runEpirun(t *testing.T, tamper bool, args ...string) (int, string) {
 	t.Helper()
+	args = append([]string{"-ledger", t.TempDir()}, args...)
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "EPIRUN_RUN_MAIN=1")
 	if tamper {
@@ -98,6 +104,152 @@ func TestFaultsRejectedForIntelKernels(t *testing.T) {
 	}
 	if !strings.Contains(out, "Intel reference kernels") {
 		t.Fatalf("unexpected error output:\n%s", out)
+	}
+}
+
+// TestLedgerIdenticalRunsAgree is the acceptance contract for the run
+// ledger: two epirun invocations with identical parameters record
+// entries whose cycle and energy leaves agree exactly — zero
+// non-advisory delta under ledger-diff semantics.
+func TestLedgerIdenticalRunsAgree(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runs")
+	for i := 0; i < 2; i++ {
+		code, out := runEpirun(t, false,
+			"-kernel", "ffbp-par", "-small", "-ledger", dir)
+		if code != 0 {
+			t.Fatalf("run %d exit %d:\n%s", i, code, out)
+		}
+		if !strings.Contains(out, "recorded in "+dir) {
+			t.Fatalf("run %d did not report a ledger record:\n%s", i, out)
+		}
+	}
+	entries, err := telemetry.Open(dir).List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("ledger holds %d entries, want 2", len(entries))
+	}
+	a, b := entries[0], entries[1]
+	if a.Tool != "epirun" || a.Salt == "" || a.ConfigHash == "" {
+		t.Errorf("entry missing provenance: tool=%q salt=%q confighash=%q",
+			a.Tool, a.Salt, a.ConfigHash)
+	}
+	if a.ConfigHash != b.ConfigHash {
+		t.Errorf("identical invocations hashed configs %s vs %s", a.ConfigHash, b.ConfigHash)
+	}
+	findings, err := telemetry.DiffEntries(a, b, bench.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bench.Regressions(findings); n != 0 {
+		t.Errorf("identical runs diverged on %d non-advisory leaves:", n)
+		for _, f := range findings {
+			t.Logf("  %s", f)
+		}
+	}
+	if len(findings) == 0 {
+		t.Error("delta table empty — advisory id/start rows should always differ")
+	}
+	if v, ok := telemetry.LeafValue(a, "metrics.emu.cycles.total"); !ok || v <= 0 {
+		t.Errorf("metrics.emu.cycles.total = %v, %v", v, ok)
+	}
+	if v, ok := telemetry.LeafValue(a, "metrics.energy.total_j"); !ok || v <= 0 {
+		t.Errorf("metrics.energy.total_j = %v, %v", v, ok)
+	}
+}
+
+// TestLedgerAttributesChangedParam pins the other half of the
+// acceptance contract: changing a parameter produces a non-zero delta
+// attributed to the config leaf and the cycle counters.
+func TestLedgerAttributesChangedParam(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "runs")
+	for _, cores := range []string{"16", "4"} {
+		if code, out := runEpirun(t, false,
+			"-kernel", "ffbp-par", "-small", "-cores", cores, "-ledger", dir); code != 0 {
+			t.Fatalf("cores=%s exit %d:\n%s", cores, code, out)
+		}
+	}
+	entries, err := telemetry.Open(dir).List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("entries=%d err=%v", len(entries), err)
+	}
+	findings, err := telemetry.DiffEntries(entries[0], entries[1], bench.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Regressions(findings) == 0 {
+		t.Fatal("changed -cores produced no non-advisory delta")
+	}
+	text := ""
+	for _, f := range findings {
+		text += f.String() + "\n"
+	}
+	for _, want := range []string{"config.cores", "metrics.emu.cycles.total"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("delta not attributed to %s:\n%s", want, text)
+		}
+	}
+}
+
+// TestLedgerDisabled checks that -ledger "" turns recording off.
+func TestLedgerDisabled(t *testing.T) {
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-par", "-small", "-ledger", "")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "recorded in") {
+		t.Fatalf("-ledger \"\" still recorded a run:\n%s", out)
+	}
+}
+
+// TestWatchLiveStatus drives the flight recorder's live display: with
+// -watch and a fast heartbeat the run prints carriage-return status
+// lines with per-core progress.
+func TestWatchLiveStatus(t *testing.T) {
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-par", "-watch", "-heartbeat", "1ms")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "\r") || !strings.Contains(out, "cores moving") {
+		t.Fatalf("no live status line in -watch output:\n%s", out)
+	}
+}
+
+// TestDeadlinePostmortem wedges a run against an impossible wall-clock
+// budget and checks the watchdog dumps a post-mortem with the event
+// ring and goroutine stacks, and that the ledger entry is marked
+// stalled.
+func TestDeadlinePostmortem(t *testing.T) {
+	dir := t.TempDir()
+	pm := filepath.Join(dir, "postmortem.txt")
+	code, out := runEpirun(t, false,
+		"-kernel", "ffbp-par", "-ledger", filepath.Join(dir, "runs"),
+		"-heartbeat", "1ms", "-deadline", "1ns", "-postmortem", pm)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "post-mortem") {
+		t.Fatalf("watchdog did not announce the dump:\n%s", out)
+	}
+	data, err := os.ReadFile(pm)
+	if err != nil {
+		t.Fatalf("post-mortem file: %v", err)
+	}
+	text := string(data)
+	for _, want := range []string{"deadline", "goroutine ", "run start"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("post-mortem missing %q:\n%s", want, text)
+		}
+	}
+	entries, err := telemetry.Open(filepath.Join(dir, "runs")).List()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries=%d err=%v", len(entries), err)
+	}
+	if entries[0].Extra["stalled"] != true {
+		t.Errorf("ledger entry not marked stalled: %v", entries[0].Extra)
 	}
 }
 

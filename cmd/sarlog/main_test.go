@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sarmany/internal/obs"
+	"sarmany/internal/telemetry"
+)
+
+// TestMain lets the test re-execute this binary as sarlog itself.
+func TestMain(m *testing.M) {
+	if os.Getenv("SARLOG_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSarlog(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SARLOG_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// seedLedger stores three runs: two with identical simulation results
+// and one with doubled cycles (a changed parameter).
+func seedLedger(t *testing.T) (dir string, ids []string) {
+	t.Helper()
+	dir = filepath.Join(t.TempDir(), "runs")
+	l := telemetry.Open(dir)
+	mk := func(start time.Time, cycles float64, pulses string) telemetry.Entry {
+		reg := obs.NewRegistry()
+		reg.Counter("emu.cycles.total").Add(cycles)
+		reg.Gauge("energy.total_mj").Set(cycles / 1e6)
+		return telemetry.Entry{
+			Tool:        "epirun",
+			Args:        []string{"kernel=ffbp"},
+			Start:       start,
+			WallSeconds: 1.0,
+			Version:     "abc123",
+			Host:        telemetry.CurrentHost(),
+			Config:      json.RawMessage(`{"pulses": ` + pulses + `}`),
+			Metrics:     telemetry.MetricsMap(reg.Snapshot()),
+		}
+	}
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	for _, e := range []telemetry.Entry{
+		mk(t0, 1e6, "128"),
+		mk(t0.Add(time.Minute), 1e6, "128"),
+		mk(t0.Add(2*time.Minute), 2e6, "256"),
+	} {
+		id, _, err := l.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return dir, ids
+}
+
+func TestListAndShow(t *testing.T) {
+	dir, ids := seedLedger(t)
+	code, out := runSarlog(t, "list", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("list exit %d:\n%s", code, out)
+	}
+	for _, id := range ids {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "epirun") || !strings.Contains(out, "kernel=ffbp") {
+		t.Errorf("list output:\n%s", out)
+	}
+
+	code, out = runSarlog(t, "show", "-dir", dir, "@-1")
+	if code != 0 {
+		t.Fatalf("show exit %d:\n%s", code, out)
+	}
+	var e telemetry.Entry
+	if err := json.Unmarshal([]byte(out), &e); err != nil {
+		t.Fatalf("show output not a valid entry: %v\n%s", err, out)
+	}
+	if e.ID != ids[2] {
+		t.Errorf("show @-1 = %s, want latest %s", e.ID, ids[2])
+	}
+
+	code, out = runSarlog(t, "show", "-dir", dir, ids[0][:6])
+	if code != 0 || !strings.Contains(out, ids[0]) {
+		t.Errorf("show by prefix: exit %d\n%s", code, out)
+	}
+}
+
+// TestDiffIdenticalRunsGatePasses is the ledgersmoke contract: two runs
+// with identical simulation results exit 0 under -gate, with a
+// non-empty delta table (the advisory id/start rows).
+func TestDiffIdenticalRunsGatePasses(t *testing.T) {
+	dir, _ := seedLedger(t)
+	code, out := runSarlog(t, "diff", "-dir", dir, "-gate", "@-3", "@-2")
+	if code != 0 {
+		t.Fatalf("identical runs failed the gate (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 regressions") {
+		t.Errorf("diff header:\n%s", out)
+	}
+	if !strings.Contains(out, "(advisory)") {
+		t.Errorf("delta table empty — want advisory id/start rows:\n%s", out)
+	}
+	if strings.Contains(out, "metrics.emu.cycles.total:") {
+		t.Errorf("cycle leaf diverged between identical runs:\n%s", out)
+	}
+}
+
+// TestDiffChangedParamGateFails pins the other half: a changed Param
+// produces a correctly attributed non-zero delta and -gate exits 2.
+func TestDiffChangedParamGateFails(t *testing.T) {
+	dir, _ := seedLedger(t)
+	code, out := runSarlog(t, "diff", "-dir", dir, "-gate", "@-2", "@-1")
+	if code != exitGateFail {
+		t.Fatalf("exit %d, want %d:\n%s", code, exitGateFail, out)
+	}
+	for _, want := range []string{
+		"metrics.emu.cycles.total: 1000000 -> 2000000 (+100.0%)",
+		"metrics.energy.total_mj",
+		"config.pulses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	// Without -gate the same diff exits 0 (reporting, not gating).
+	code, _ = runSarlog(t, "diff", "-dir", dir, "@-2", "@-1")
+	if code != 0 {
+		t.Errorf("ungated diff exit %d, want 0", code)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	dir, _ := seedLedger(t)
+	code, out := runSarlog(t, "trend", "-dir", dir, "metrics.emu.cycles.total")
+	if code != 0 {
+		t.Fatalf("trend exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"across 3 runs", "1e+06", "2e+06", "min 1e+06, max 2e+06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir, _ := seedLedger(t)
+	if code, _ := runSarlog(t); code == 0 {
+		t.Error("no-command invocation exited 0")
+	}
+	if code, _ := runSarlog(t, "bogus"); code == 0 {
+		t.Error("unknown command exited 0")
+	}
+	if code, _ := runSarlog(t, "diff", "-dir", dir, "@-1"); code == 0 {
+		t.Error("one-ref diff exited 0")
+	}
+	if code, out := runSarlog(t, "show", "-dir", dir, "zzzz"); code == 0 || !strings.Contains(out, "no run matches") {
+		t.Errorf("bad ref: exit %d\n%s", code, out)
+	}
+	if code, _ := runSarlog(t, "list", "-dir", filepath.Join(dir, "missing")); code != 0 {
+		t.Error("empty ledger list should succeed")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"sarmany/internal/autofocus"
 	"sarmany/internal/conform"
@@ -44,6 +45,7 @@ import (
 	"sarmany/internal/profile"
 	"sarmany/internal/report"
 	"sarmany/internal/sar"
+	"sarmany/internal/telemetry"
 )
 
 // exitConformFail is the pinned exit status for a failed -check pass, so
@@ -56,17 +58,19 @@ func main() {
 	log.SetPrefix("sarprof: ")
 
 	var (
-		kernel = flag.String("kernel", "ffbp-par", "ffbp-par, ffbp-seq, af-par, af-seq")
-		cores  = flag.Int("cores", 16, "cores for ffbp-par")
-		mesh   = flag.String("mesh", "4x4", "Epiphany mesh size RxC")
-		small  = flag.Bool("small", false, "reduced workload")
-		traceN = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track")
-		htmlF  = flag.String("html", "", "also write a self-contained HTML report")
-		jsonF  = flag.String("json", "", "also write the profile as JSON")
-		check  = flag.Bool("check", false, "run the conformance checker on the completed run")
-		faultF = flag.String("faults", "", "fault plan file to inject before the run")
+		kernel  = flag.String("kernel", "ffbp-par", "ffbp-par, ffbp-seq, af-par, af-seq")
+		cores   = flag.Int("cores", 16, "cores for ffbp-par")
+		mesh    = flag.String("mesh", "4x4", "Epiphany mesh size RxC")
+		small   = flag.Bool("small", false, "reduced workload")
+		traceN  = flag.Int("tracecap", obs.DefaultCapacity, "trace ring capacity in spans per track")
+		htmlF   = flag.String("html", "", "also write a self-contained HTML report")
+		jsonF   = flag.String("json", "", "also write the profile as JSON")
+		check   = flag.Bool("check", false, "run the conformance checker on the completed run")
+		faultF  = flag.String("faults", "", "fault plan file to inject before the run")
+		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	cfg := report.Default()
 	if *small {
@@ -141,6 +145,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Record the profiled run in the ledger: the same provenance shape as
+	// epirun, so sarlog can diff a profile run against a plain run.
+	if *ledgerD != "" {
+		e, lerr := telemetry.NewEntry("sarprof", start, map[string]any{
+			"kernel": *kernel,
+			"cores":  *cores,
+			"mesh":   *mesh,
+			"small":  *small,
+			"params": cfg.Params,
+		}, "kernel="+*kernel, fmt.Sprintf("cores=%d", *cores), fmt.Sprintf("small=%v", *small), "mesh="+*mesh)
+		if lerr != nil {
+			log.Printf("ledger: %v", lerr)
+		} else {
+			reg := ch.Metrics()
+			reg.Gauge("emu.cycles.total").Set(ch.MaxCycles())
+			e.Metrics = telemetry.MetricsMap(reg.Snapshot())
+			e.Extra = map[string]any{
+				"machine": fmt.Sprintf("epiphany-%dx%d", r, c),
+				"cycles":  ch.MaxCycles(),
+				"seconds": ch.Time(),
+			}
+			if *faultF != "" {
+				e.Extra["faults"] = *faultF
+			}
+			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
+				log.Printf("ledger: %v", lerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "sarprof: run %s recorded in %s\n", id, *ledgerD)
+			}
+		}
+	}
+
 	fmt.Printf("%s: ", *kernel)
 	if err := p.WriteText(os.Stdout); err != nil {
 		log.Fatal(err)

@@ -20,9 +20,12 @@ func TestMain(m *testing.M) {
 }
 
 // runSarprof re-executes the test binary as sarprof and returns its exit
-// code and combined output.
+// code and combined output. A throwaway -ledger directory is injected
+// first so tests never write into the repo's out/runs; later -ledger
+// occurrences in args still win (flag.Parse keeps the last value).
 func runSarprof(t *testing.T, tamper bool, args ...string) (int, string) {
 	t.Helper()
+	args = append([]string{"-ledger", t.TempDir()}, args...)
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "SARPROF_RUN_MAIN=1")
 	if tamper {

@@ -34,10 +34,13 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
 	"sarmany/internal/dataio"
 	"sarmany/internal/imageio"
 	"sarmany/internal/mat"
 	"sarmany/internal/sar"
+	"sarmany/internal/telemetry"
 )
 
 func main() {
@@ -61,8 +64,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print dataset metadata as JSON instead of text")
 		workers  = flag.Int("j", 0, "pulse-synthesis workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "dataset cache directory (empty = no caching)")
+		ledgerD  = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
 	flag.Parse()
+	start := time.Now()
 
 	p := sar.DefaultParams()
 	if *pulses > 0 {
@@ -149,6 +154,41 @@ func main() {
 	if *pngOut != "" {
 		if err := imageio.Save(*pngOut, data, 50); err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	// Record the generated dataset in the run ledger. The data_sha256
+	// extra hashes the written file, so two sarsim runs with the same
+	// parameters can prove bit-identical output via sarlog diff.
+	if *ledgerD != "" {
+		e, lerr := telemetry.NewEntry("sarsim", start, map[string]any{
+			"params":         p,
+			"targets":        scene,
+			"patherr_amp":    *peAmp,
+			"patherr_period": *pePer,
+			"chirp":          *chirp,
+			"noise":          *noise,
+			"rfi":            *rfi,
+			"rfi_freq":       *rfiFreq,
+			"notch":          *notch,
+		}, fmt.Sprintf("pulses=%d", p.NumPulses), fmt.Sprintf("bins=%d", p.NumBins))
+		if lerr != nil {
+			log.Printf("ledger: %v", lerr)
+		} else {
+			e.Extra = map[string]any{
+				"file":         *out,
+				"notched_bins": notched,
+				"cached":       cached,
+			}
+			if b, rerr := os.ReadFile(*out); rerr == nil {
+				sum := sha256.Sum256(b)
+				e.Extra["data_sha256"] = hex.EncodeToString(sum[:])
+			}
+			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
+				log.Printf("ledger: %v", lerr)
+			} else {
+				fmt.Fprintf(os.Stderr, "sarsim: run %s recorded in %s\n", id, *ledgerD)
+			}
 		}
 	}
 

@@ -121,6 +121,25 @@ func DiffEnvelopes(oldDoc, newDoc []byte, opt DiffOptions) ([]Finding, error) {
 	return out, nil
 }
 
+// NumericLeaves flattens a JSON document to its numeric scalar leaves,
+// keyed by dotted path exactly as DiffEnvelopes names them
+// ("data[3].seconds"). Non-numeric leaves and numbers outside float64
+// range are omitted. This is the query surface history tools (sarlog
+// trend) use to track one metric across stored envelopes.
+func NumericLeaves(doc []byte) (map[string]float64, error) {
+	leaves, err := flattenJSON(doc)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(leaves))
+	for p, l := range leaves {
+		if l.isNum {
+			out[p] = l.num
+		}
+	}
+	return out, nil
+}
+
 // leaf is one flattened JSON scalar.
 type leaf struct {
 	raw   string // canonical textual form, for non-numeric comparison

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDiffEdgeCases tables the comparison corners the gate must survive:
+// leaves that exist on one side only, zero baselines (relative delta is
+// undefined), and numbers JSON allows but float64 cannot hold (1e999
+// parses to +Inf with an error, so the leaf must fall back to exact
+// textual comparison instead of poisoning the tolerance arithmetic).
+func TestDiffEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		opt      DiffOptions
+		want     int // regression count
+		check    func(t *testing.T, fs []Finding)
+	}{
+		{
+			name: "missing_leaf_in_candidate",
+			old:  `{"a": 1, "b": 2}`,
+			new:  `{"a": 1}`,
+			want: 1,
+			check: func(t *testing.T, fs []Finding) {
+				if fs[0].Path != "b" || fs[0].New != "(missing)" || fs[0].Delta != 0 {
+					t.Errorf("finding: %+v", fs[0])
+				}
+			},
+		},
+		{
+			name: "missing_leaf_in_baseline",
+			old:  `{"a": 1}`,
+			new:  `{"a": 1, "b": 2}`,
+			want: 1,
+			check: func(t *testing.T, fs []Finding) {
+				if fs[0].Path != "b" || fs[0].Old != "(missing)" {
+					t.Errorf("finding: %+v", fs[0])
+				}
+			},
+		},
+		{
+			name: "zero_baseline_nonzero_candidate",
+			old:  `{"stalls": 0}`,
+			new:  `{"stalls": 7}`,
+			opt:  DiffOptions{Tolerance: 0.02},
+			want: 1,
+			check: func(t *testing.T, fs []Finding) {
+				// Relative delta against zero is undefined: the finding
+				// reports the values with Delta left at 0 rather than
+				// Inf/NaN leaking into the report.
+				f := fs[0]
+				if f.Delta != 0 || math.IsInf(f.Delta, 0) || math.IsNaN(f.Delta) {
+					t.Errorf("zero-baseline delta = %v, want 0", f.Delta)
+				}
+				if f.Old != "0" || f.New != "7" {
+					t.Errorf("finding: %+v", f)
+				}
+			},
+		},
+		{
+			name: "zero_on_both_sides_is_quiet",
+			old:  `{"stalls": 0}`,
+			new:  `{"stalls": 0}`,
+			opt:  DiffOptions{Tolerance: 0.02},
+			want: 0,
+		},
+		{
+			name: "overflow_number_equal_is_quiet",
+			old:  `{"x": 1e999}`,
+			new:  `{"x": 1e999}`,
+			opt:  DiffOptions{Tolerance: 0.02},
+			want: 0,
+		},
+		{
+			name: "overflow_number_changed_is_flagged",
+			old:  `{"x": 1e999}`,
+			new:  `{"x": 2}`,
+			opt:  DiffOptions{Tolerance: 0.02},
+			want: 1,
+			check: func(t *testing.T, fs []Finding) {
+				f := fs[0]
+				if f.Old != "1e999" || f.Delta != 0 {
+					t.Errorf("overflow leaf compared numerically: %+v", f)
+				}
+				if math.IsInf(f.Delta, 0) || math.IsNaN(f.Delta) {
+					t.Errorf("delta leaked non-finite value: %v", f.Delta)
+				}
+			},
+		},
+		{
+			name: "negative_values_use_magnitude_tolerance",
+			old:  `{"x": -100}`,
+			new:  `{"x": -101}`,
+			opt:  DiffOptions{Tolerance: 0.02},
+			want: 0,
+		},
+		{
+			name: "type_change_number_to_string",
+			old:  `{"x": 5}`,
+			new:  `{"x": "5"}`,
+			want: 1,
+			check: func(t *testing.T, fs []Finding) {
+				if fs[0].Old != "5" || fs[0].New != `"5"` {
+					t.Errorf("finding: %+v", fs[0])
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := DiffEnvelopes([]byte(tc.old), []byte(tc.new), tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Regressions(fs) != tc.want {
+				t.Fatalf("regressions = %d, want %d (findings: %v)", Regressions(fs), tc.want, fs)
+			}
+			if tc.check != nil && len(fs) > 0 {
+				tc.check(t, fs)
+			}
+		})
+	}
+}
+
+func TestNumericLeaves(t *testing.T) {
+	doc := `{"name": "x", "ok": true, "n": 3, "data": {"pts": [{"s": 0.5}, {"s": 1.5}]}, "big": 1e999}`
+	got, err := NumericLeaves([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"n": 3, "data.pts[0].s": 0.5, "data.pts[1].s": 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("leaves = %v, want %v", got, want)
+	}
+	for p, v := range want {
+		if got[p] != v {
+			t.Errorf("leaf %s = %v, want %v", p, got[p], v)
+		}
+	}
+	if _, err := NumericLeaves([]byte("{")); err == nil {
+		t.Error("malformed doc accepted")
+	}
+}
+
+// TestEnvelopeBackwardCompat pins that envelopes written before the
+// provenance fields existed still decode (empty Salt/Version), and that
+// a provenance-free Result marshals without the fields at all — the
+// committed benchdiff baselines must stay byte-identical.
+func TestEnvelopeBackwardCompat(t *testing.T) {
+	old := `{"name": "sweep", "title": "t", "pulses": 1, "bins": 2, "data": {"x": 1}}`
+	var r RawResult
+	if err := json.Unmarshal([]byte(old), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Salt != "" || r.Version != "" {
+		t.Errorf("pre-provenance envelope decoded salt=%q version=%q, want empty", r.Salt, r.Version)
+	}
+	if r.Name != "sweep" || r.Pulses != 1 {
+		t.Errorf("decode lost fields: %+v", r)
+	}
+
+	b, err := Marshal(Result{Name: "sweep", Title: "t", Pulses: 1, Bins: 2, Data: map[string]int{"x": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "salt") || strings.Contains(string(b), "version") {
+		t.Errorf("provenance-free envelope grew fields:\n%s", b)
+	}
+
+	// And a stamped envelope round-trips both fields.
+	b, err = Marshal(Result{Name: "x", Salt: EnvelopeSalt, Version: "abc123", Data: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Salt != EnvelopeSalt || r.Version != "abc123" {
+		t.Errorf("round trip lost provenance: %+v", r)
+	}
+}
+
+// TestVersionStable pins Version's contract: non-empty, deterministic
+// within a process, and free of whitespace (it lands in single-line
+// status output and file names).
+func TestVersionStable(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() empty")
+	}
+	if v != Version() {
+		t.Error("Version() not deterministic")
+	}
+	if strings.ContainsAny(v, " \t\n") {
+		t.Errorf("Version() %q contains whitespace", v)
+	}
+}

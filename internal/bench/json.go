@@ -24,18 +24,32 @@ type Result struct {
 	// so stored results from different scales are distinguishable.
 	Pulses int `json:"pulses,omitempty"`
 	Bins   int `json:"bins,omitempty"`
-	Data   any `json:"data"`
+	// Salt and Version record provenance: the envelope-schema salt and
+	// the code version (git revision) that computed the data. Both are
+	// omitempty so envelopes written before they existed — and the
+	// committed benchdiff baselines, which tests construct directly —
+	// decode and re-marshal unchanged.
+	Salt    string `json:"salt,omitempty"`
+	Version string `json:"version,omitempty"`
+	Data    any    `json:"data"`
 }
 
 // RawResult is the read-side counterpart of Result: Data stays raw for
 // the caller to decode into the experiment's concrete point type.
 type RawResult struct {
-	Name   string          `json:"name"`
-	Title  string          `json:"title"`
-	Pulses int             `json:"pulses"`
-	Bins   int             `json:"bins"`
-	Data   json.RawMessage `json:"data"`
+	Name    string          `json:"name"`
+	Title   string          `json:"title"`
+	Pulses  int             `json:"pulses"`
+	Bins    int             `json:"bins"`
+	Salt    string          `json:"salt"`
+	Version string          `json:"version"`
+	Data    json.RawMessage `json:"data"`
 }
+
+// EnvelopeSalt is the schema salt stamped into envelopes Compute
+// produces. Bump it when the envelope layout changes incompatibly so
+// history-reading tools (sarlog trend) can tell generations apart.
+const EnvelopeSalt = "sarmany-bench-v1"
 
 // Filename returns the canonical result file name for an experiment.
 func Filename(name string) string { return "BENCH_" + name + ".json" }
@@ -184,6 +198,8 @@ func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) 
 	}
 	res.Pulses = cfg.Params.NumPulses
 	res.Bins = cfg.Params.NumBins
+	res.Salt = EnvelopeSalt
+	res.Version = Version()
 	return res, nil
 }
 

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Version returns the code-version string stamped into result envelopes
+// and ledger entries: a git-describe-style identifier built from the
+// binary's embedded VCS metadata (short revision, dirty marker), or
+// "devel" when the build carries none (e.g. `go test` binaries). The
+// value is computed once; it is deterministic for a given binary, so
+// envelope bytes stay reproducible within a build.
+func Version() string {
+	versionOnce.Do(func() { versionStr = readVersion() })
+	return versionStr
+}
+
+var (
+	versionOnce sync.Once
+	versionStr  string
+)
+
+func readVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}

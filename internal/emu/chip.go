@@ -46,6 +46,10 @@ type Chip struct {
 	// every work slot Assignments/RemapPlacement moved off a halted core.
 	faults *fault.Injector
 	remaps []Remap
+
+	// Live-progress publication (nil when disabled — the default); see
+	// progress.go.
+	progress *progressState
 }
 
 // New constructs a chip with the given parameters.
@@ -217,6 +221,7 @@ func (ch *Chip) resolvePhase() {
 	}
 	ch.phaseTrack.Span(kind, ch.phaseStart, t)
 	ch.phaseStart = t
+	ch.notePhase()
 }
 
 // sumActiveStats sums the stats of the active cores. It is called from

@@ -2,6 +2,7 @@ package emu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sarmany/internal/machine"
 	"sarmany/internal/obs"
@@ -96,6 +97,10 @@ type Core struct {
 	// default) leaves the commit arithmetic untouched.
 	slow float64
 
+	// prog is the core's progress cell (see progress.go); nil (the
+	// default) disables publication and every noteProgress is a no-op.
+	prog *atomic.Uint64
+
 	Stats CoreStats
 }
 
@@ -123,6 +128,7 @@ func (c *Core) commit() {
 	c.fpu, c.ialu = 0, 0
 	if d > 0 {
 		c.tr.Span(obs.KindCompute, c.now-d, c.now)
+		c.noteProgress()
 	}
 }
 
@@ -131,6 +137,7 @@ func (c *Core) stall(cycles float64, kind obs.Kind) {
 	c.now += cycles
 	c.Stats.addStall(kind, cycles)
 	c.tr.Span(kind, c.now-cycles, c.now)
+	c.noteProgress()
 }
 
 // noteStall records that the core's clock was advanced from `from` to
@@ -142,6 +149,7 @@ func (c *Core) noteStall(kind obs.Kind, from, to float64) {
 	}
 	c.Stats.addStall(kind, to-from)
 	c.tr.Span(kind, from, to)
+	c.noteProgress()
 }
 
 // FMA charges n fused multiply-adds: one FPU cycle each.

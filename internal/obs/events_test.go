@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventRingBoundsAndOrder(t *testing.T) {
+	r := NewEventRing(3)
+	for _, m := range []string{"a", "b", "c", "d", "e"} {
+		r.Add(m)
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Msg != "c" || ev[1].Msg != "d" || ev[2].Msg != "e" {
+		t.Fatalf("events = %+v, want tail c,d,e", ev)
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d, want 3", r.Len())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 older events dropped") || !strings.Contains(out, " e\n") {
+		t.Errorf("WriteText output:\n%s", out)
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Add("x")
+	r.Addf("y %d", 1)
+	if r.Events() != nil || r.Dropped() != 0 || r.Len() != 0 {
+		t.Error("nil ring not a no-op")
+	}
+	var tr *Tracer
+	tr.Eventf("z")
+	if tr.Events() != nil {
+		t.Error("nil tracer Events() != nil")
+	}
+}
+
+// TestEventRingConcurrent exercises the ring from many goroutines; run
+// under -race this pins the locking discipline the heartbeat relies on.
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Addf("g%d event %d", g, i)
+				_ = r.Events()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("len = %d, want full ring 64", r.Len())
+	}
+	if r.Dropped() != 8*100-64 {
+		t.Errorf("dropped = %d, want %d", r.Dropped(), 8*100-64)
+	}
+}
+
+func TestTracerEventRing(t *testing.T) {
+	tr := NewTracer(1e9)
+	tr.Eventf("phase %d done", 3)
+	ev := tr.Events().Events()
+	if len(ev) != 1 || ev[0].Msg != "phase 3 done" {
+		t.Fatalf("tracer events = %+v", ev)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -105,15 +106,53 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram accumulates a distribution: count, sum, min, max and
-// power-of-two magnitude buckets (bucket i counts observations v with
-// 2^(i-1) <= v < 2^i; bucket 0 counts v < 1).
+// Histogram bucket geometry: 64 bounded exponential (power-of-two)
+// buckets. Bucket i covers [2^(i-33), 2^(i-32)); bucket 0 additionally
+// absorbs everything below 2^-32 (including zero), and the top bucket
+// absorbs everything from 2^30 up. The range 2^-32..2^30 comfortably
+// spans both sub-second job latencies and multi-billion-cycle runs, so
+// quantile estimation stays within one power of two everywhere the
+// simulator reports.
+const (
+	numBuckets   = 64
+	minBucketExp = -33 // exponent of bucket 0's lower bound
+)
+
+// bucketIndex returns the bucket holding v.
+func bucketIndex(v float64) int {
+	if v < math.Exp2(minBucketExp+1) {
+		return 0
+	}
+	i := int(math.Floor(math.Log2(v))) - minBucketExp
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns bucket i's half-open interval [lo, hi). Bucket 0
+// reaches down to zero and the top bucket up to +Inf.
+func bucketBounds(i int) (lo, hi float64) {
+	lo = math.Exp2(float64(i + minBucketExp))
+	hi = math.Exp2(float64(i + minBucketExp + 1))
+	if i == 0 {
+		lo = 0
+	}
+	if i == numBuckets-1 {
+		hi = math.Inf(1)
+	}
+	return lo, hi
+}
+
+// Histogram accumulates a distribution: count, sum, min, max and bounded
+// exponential buckets (see bucketIndex for the geometry), from which
+// Quantile estimates order statistics.
 type Histogram struct {
 	mu       sync.Mutex
 	count    uint64
 	sum      float64
 	min, max float64
-	buckets  [64]uint64
+	buckets  [numBuckets]uint64
 }
 
 // Observe records one sample.
@@ -128,19 +167,60 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.max {
 		h.max = v
 	}
-	i := 0
-	if v >= 1 {
-		i = int(math.Floor(math.Log2(v))) + 1
-		if i >= len(h.buckets) {
-			i = len(h.buckets) - 1
-		}
+	h.buckets[bucketIndex(v)]++
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the exponential buckets: it walks to the bucket
+// holding the target rank and interpolates linearly inside it, then
+// clamps to the observed [min, max]. The bucket geometry bounds the
+// relative error by one power of two. NaN when nothing was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
 	}
-	h.buckets[i]++
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < target {
+			cum = next
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi > h.max {
+			hi = h.max
+		}
+		v := lo + (hi-lo)*(target-cum)/float64(n)
+		// Clamp against min/max once more: a single-bucket distribution
+		// interpolates inside [min, max] already, but floating point can
+		// land a hair outside.
+		return math.Min(math.Max(v, h.min), h.max)
+	}
+	return h.max
 }
 
 // Metric is one snapshotted registry entry. Counters and gauges carry
-// Value; histograms carry Count/Sum/Min/Max/Mean and the non-empty
-// magnitude buckets.
+// Value; histograms carry Count/Sum/Min/Max/Mean, the estimated
+// p50/p90/p99 quantiles, and the non-empty exponential buckets.
 type Metric struct {
 	Name  string  `json:"name"`
 	Type  string  `json:"type"`
@@ -151,8 +231,12 @@ type Metric struct {
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
-	// Buckets maps power-of-two magnitude bucket upper bounds (as
-	// "<1", "<2", "<4", ...) to observation counts.
+	// P50/P90/P99 are bucket-estimated quantiles (see Histogram.Quantile).
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+	// Buckets maps power-of-two bucket upper bounds (as "<0.5", "<1",
+	// "<2", "<4", ...; the top bucket is "<+Inf") to observation counts.
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
@@ -175,6 +259,9 @@ func (r *Registry) Snapshot() Snapshot {
 		m := Metric{Name: name, Type: "histogram", Count: h.count, Sum: h.sum}
 		if h.count > 0 {
 			m.Min, m.Max, m.Mean = h.min, h.max, h.sum/float64(h.count)
+			m.P50 = h.quantileLocked(0.50)
+			m.P90 = h.quantileLocked(0.90)
+			m.P99 = h.quantileLocked(0.99)
 			for i, n := range h.buckets {
 				if n == 0 {
 					continue
@@ -192,11 +279,26 @@ func (r *Registry) Snapshot() Snapshot {
 	return out
 }
 
+// bucketLabel renders bucket i's upper bound as a "<bound>" key.
+// strconv's 'g' format round-trips exactly, so exposition code (the
+// Prometheus renderer) can parse the bound back out of the label.
 func bucketLabel(i int) string {
-	if i == 0 {
-		return "<1"
+	_, hi := bucketBounds(i)
+	return "<" + strconv.FormatFloat(hi, 'g', -1, 64)
+}
+
+// BucketBound parses the upper bound out of a snapshot bucket label
+// ("<0.5", "<128", "<+Inf"). The second result is false for a label the
+// snapshot writer did not produce.
+func BucketBound(label string) (float64, bool) {
+	if len(label) < 2 || label[0] != '<' {
+		return 0, false
 	}
-	return fmt.Sprintf("<%.0f", math.Pow(2, float64(i)))
+	v, err := strconv.ParseFloat(label[1:], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // Get returns the metric with the given name.

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the sort-based reference the bucket estimator is
+// checked against: the value at rank ceil(q*n) (the smallest value with
+// at least a q fraction of the sample at or below it).
+func refQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// TestQuantileAccuracy drives random data through the histogram and
+// checks the bucket estimate against the sort-based reference. The
+// power-of-two bucket geometry bounds the estimate to within one bucket
+// of the true order statistic: est must lie in [ref/2, 2*ref] for
+// positive references, and always inside the observed [min, max].
+func TestQuantileAccuracy(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+	}{
+		// Sub-second latencies: the sweep.job.seconds regime, which the
+		// old all-below-one bucket 0 could not resolve at all.
+		{"uniform_small", func(r *rand.Rand) float64 { return r.Float64() * 0.25 }},
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() * 1000 }},
+		{"exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() * 3 }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 2) }},
+		// Heavy point mass plus a tail: p50 sits on the mass, p99 on the
+		// tail — the wedge-detection shape (most heartbeats fast, a few
+		// stalls slow).
+		{"point_mass_tail", func(r *rand.Rand) float64 {
+			if r.Float64() < 0.9 {
+				return 0.01
+			}
+			return 10 + r.Float64()*100
+		}},
+	}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			reg := NewRegistry()
+			h := reg.Histogram("x")
+			vals := make([]float64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				v := d.gen(r)
+				vals = append(vals, v)
+				h.Observe(v)
+			}
+			sort.Float64s(vals)
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est := h.Quantile(q)
+				ref := refQuantile(vals, q)
+				if est < vals[0] || est > vals[len(vals)-1] {
+					t.Errorf("q=%v: estimate %v outside observed range [%v, %v]",
+						q, est, vals[0], vals[len(vals)-1])
+				}
+				if ref > 0 && (est < ref/2 || est > ref*2) {
+					t.Errorf("q=%v: estimate %v vs reference %v beyond the one-bucket bound",
+						q, est, ref)
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x")
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram quantile = %v, want NaN", v)
+	}
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 7 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 7", q, v)
+		}
+	}
+	h.Observe(0) // zero lands in bucket 0 without a log2 blowup
+	if v := h.Quantile(0); v != 0 {
+		t.Errorf("Quantile(0) = %v, want min 0", v)
+	}
+	if v := h.Quantile(1); v != 7 {
+		t.Errorf("Quantile(1) = %v, want max 7", v)
+	}
+}
+
+// TestSnapshotQuantiles pins that histogram snapshots surface p50/p90/p99
+// and that sub-one observations now resolve into distinct buckets.
+func TestSnapshotQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.010) // 100 fast jobs
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(3.0) // 5 slow ones
+	}
+	m, ok := reg.Snapshot().Get("lat")
+	if !ok {
+		t.Fatal("lat missing from snapshot")
+	}
+	if m.P50 <= 0 || m.P50 > 0.016 {
+		t.Errorf("p50 = %v, want within the 0.010 bucket", m.P50)
+	}
+	if m.P99 < 2 || m.P99 > 3 {
+		t.Errorf("p99 = %v, want on the slow tail", m.P99)
+	}
+	if m.P50 >= m.P99 {
+		t.Errorf("p50 %v >= p99 %v", m.P50, m.P99)
+	}
+	// 0.010 lands in [2^-7, 2^-6) — a sub-one bucket the old geometry
+	// collapsed into "<1".
+	if n := m.Buckets["<0.015625"]; n != 100 {
+		t.Errorf("fast bucket = %d, want 100 (all: %v)", n, m.Buckets)
+	}
+}
+
+func TestBucketBoundRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 31, 32, 33, 40, 62, 63} {
+		_, hi := bucketBounds(i)
+		v, ok := BucketBound(bucketLabel(i))
+		if !ok || v != hi {
+			t.Errorf("bucket %d: label %q parsed to (%v, %v), want %v",
+				i, bucketLabel(i), v, ok, hi)
+		}
+	}
+	if _, ok := BucketBound("nope"); ok {
+		t.Error("BucketBound accepted a non-label")
+	}
+}

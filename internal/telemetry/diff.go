@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"sarmany/internal/bench"
+)
+
+// DefaultAdvisory lists the leaf patterns a ledger diff reports but
+// never gates on: run identity (id, start), anything wall-clock, and
+// host shape. Everything else in an entry — config, seeds, fault plans,
+// simulated cycles, energy — is deterministic, so a delta there is a
+// real divergence.
+var DefaultAdvisory = []string{
+	"id",
+	"start",
+	"wall_seconds",
+	"host.*",
+	"version",
+	"args*",
+	// Wall-clock metric histograms (sweep.job.seconds and friends).
+	"metrics.*seconds*",
+	// Wall-clock and host-shape leaves inside embedded bench envelopes —
+	// the same set the Makefile benchdiff gate treats as advisory.
+	"envelope.data.seconds*",
+	"envelope.data.speedup",
+	"envelope.data.*_per_sec",
+	"envelope.data.host_cpus",
+	"envelope.data.analyze_seconds",
+	"envelope.version",
+	// Tool-specific wall-clock extras.
+	"extra.*seconds*",
+}
+
+// DiffEntries compares two ledger entries leaf by leaf with
+// bench.DiffEnvelopes semantics. Entries are re-marshaled with their
+// stored IDs, so the id leaf shows up as an advisory row — a non-empty
+// delta table even for byte-identical simulation results, which is how
+// a caller can tell "identical runs" from "diff silently compared
+// nothing".
+func DiffEntries(a, b Entry, opt bench.DiffOptions) ([]bench.Finding, error) {
+	if opt.Advisory == nil {
+		opt.Advisory = DefaultAdvisory
+	}
+	ab, err := MarshalEntry(a)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := MarshalEntry(b)
+	if err != nil {
+		return nil, err
+	}
+	return bench.DiffEnvelopes(ab, bb, opt)
+}

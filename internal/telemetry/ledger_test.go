@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sarmany/internal/bench"
+	"sarmany/internal/obs"
+)
+
+func testEntry(start time.Time, cycles float64) Entry {
+	reg := obs.NewRegistry()
+	reg.Counter("emu.cycles.total").Add(cycles)
+	reg.Counter("emu.cycles.compute").Add(cycles * 0.8)
+	reg.Gauge("energy.total_mj").Set(cycles / 1e6)
+	reg.Histogram("core.cycles").Observe(cycles)
+	return Entry{
+		Tool:        "epirun",
+		Args:        []string{"kernel=ffbp", "cores=16"},
+		Start:       start,
+		WallSeconds: 1.5,
+		Salt:        bench.EnvelopeSalt,
+		Version:     "abc123",
+		Host:        CurrentHost(),
+		Config:      json.RawMessage(`{"pulses": 128, "bins": 121}`),
+		ConfigHash:  HashJSON([]byte(`{"pulses": 128, "bins": 121}`)),
+		Metrics:     MetricsMap(reg.Snapshot()),
+	}
+}
+
+func TestLedgerAppendListRead(t *testing.T) {
+	dir := t.TempDir()
+	l := Open(filepath.Join(dir, "runs")) // Open never creates the dir
+
+	if es, err := l.List(); err != nil || len(es) != 0 {
+		t.Fatalf("empty ledger: %v, %v", es, err)
+	}
+
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	id1, path1, err := l.Append(testEntry(t0, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id1) != idLen {
+		t.Fatalf("id %q, want %d hex chars", id1, idLen)
+	}
+	id2, _, err := l.Append(testEntry(t0.Add(time.Minute), 2e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("different runs got the same content address")
+	}
+
+	// Idempotent re-append: same entry, same id, same file.
+	idAgain, pathAgain, err := l.Append(testEntry(t0, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idAgain != id1 || pathAgain != path1 {
+		t.Errorf("re-append: (%s, %s), want (%s, %s)", idAgain, pathAgain, id1, path1)
+	}
+
+	es, err := l.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].ID != id1 || es[1].ID != id2 {
+		t.Fatalf("list = %+v, want chronological [%s %s]", es, id1, id2)
+	}
+
+	e, raw, err := l.Read(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tool != "epirun" || e.ID != id1 || len(raw) == 0 {
+		t.Errorf("read: %+v", e)
+	}
+}
+
+func TestLedgerResolve(t *testing.T) {
+	l := Open(t.TempDir())
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	id1, _, _ := l.Append(testEntry(t0, 1e6))
+	id2, _, _ := l.Append(testEntry(t0.Add(time.Minute), 2e6))
+
+	if e, err := l.Resolve("@-1"); err != nil || e.ID != id2 {
+		t.Errorf("@-1 = %v, %v; want %s", e.ID, err, id2)
+	}
+	if e, err := l.Resolve("@-2"); err != nil || e.ID != id1 {
+		t.Errorf("@-2 = %v, %v; want %s", e.ID, err, id1)
+	}
+	if e, err := l.Resolve(id1[:6]); err != nil || e.ID != id1 {
+		t.Errorf("prefix = %v, %v; want %s", e.ID, err, id1)
+	}
+	for _, bad := range []string{"@-3", "@-0", "@-x", "zzzzzz"} {
+		if _, err := l.Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestLedgerTamperDetection pins the content-address verification: an
+// entry edited on disk no longer matches its ID and Read refuses it.
+func TestLedgerTamperDetection(t *testing.T) {
+	l := Open(t.TempDir())
+	id, path, err := l.Append(testEntry(time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC), 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(b), `"wall_seconds": 1.5`, `"wall_seconds": 0.1`, 1)
+	if tampered == string(b) {
+		t.Fatal("test did not modify the entry")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Read(id); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Errorf("tampered entry read succeeded (err=%v)", err)
+	}
+}
+
+// TestLedgerDiffSemantics is the tentpole's core promise: two runs with
+// identical simulation results diff to zero on every cycle/energy leaf
+// (only run-identity leaves differ), while a changed parameter shows up
+// as a correctly attributed non-zero delta.
+func TestLedgerDiffSemantics(t *testing.T) {
+	advisory := []string{"id", "start", "wall_seconds", "host.*", "args*", "version"}
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+
+	marshal := func(e Entry) []byte {
+		id, err := computeID(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ID = id
+		b, err := MarshalEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Identical simulation, different wall clock: same cycles/energy.
+	a := testEntry(t0, 1e6)
+	b := testEntry(t0.Add(time.Hour), 1e6)
+	b.WallSeconds = 2.5
+	fs, err := bench.DiffEnvelopes(marshal(a), marshal(b), bench.DiffOptions{Advisory: advisory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bench.Regressions(fs); n != 0 {
+		t.Fatalf("identical runs produced %d non-advisory deltas: %v", n, fs)
+	}
+	if len(fs) == 0 {
+		t.Fatal("diff table empty — id/start/wall_seconds advisory rows expected")
+	}
+	for _, f := range fs {
+		if strings.HasPrefix(f.Path, "metrics.") {
+			t.Errorf("metric leaf diverged between identical runs: %v", f)
+		}
+	}
+
+	// Changed parameter: the delta lands on named metric leaves.
+	c := testEntry(t0.Add(2*time.Hour), 2e6)
+	c.Config = json.RawMessage(`{"pulses": 256, "bins": 121}`)
+	c.ConfigHash = HashJSON(c.Config)
+	fs, err = bench.DiffEnvelopes(marshal(a), marshal(c), bench.DiffOptions{Advisory: advisory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]bench.Finding{}
+	for _, f := range fs {
+		byPath[f.Path] = f
+	}
+	cyc, ok := byPath["metrics.emu.cycles.total"]
+	if !ok || cyc.Advisory {
+		t.Fatalf("cycle delta not attributed: %v", fs)
+	}
+	if cyc.Delta < 0.99 || cyc.Delta > 1.01 {
+		t.Errorf("cycle delta = %v, want ~+1.0 (doubled)", cyc.Delta)
+	}
+	if _, ok := byPath["metrics.energy.total_mj"]; !ok {
+		t.Errorf("energy delta not attributed: %v", fs)
+	}
+	if _, ok := byPath["config.pulses"]; !ok {
+		t.Errorf("config change not attributed: %v", fs)
+	}
+}
+
+func TestMetricsMapShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(-1.5)
+	reg.Histogram("h").Observe(2)
+	reg.Histogram("empty") // no observations
+	m := MetricsMap(reg.Snapshot())
+	if m["c"] != 3.0 || m["g"] != -1.5 {
+		t.Errorf("scalars: %v", m)
+	}
+	h, ok := m["h"].(map[string]any)
+	if !ok || h["count"] != uint64(1) || h["p50"] == nil {
+		t.Errorf("histogram leaf: %v", m["h"])
+	}
+	if e, ok := m["empty"].(map[string]any); !ok || e["p50"] != nil {
+		t.Errorf("empty histogram leaked quantiles: %v", m["empty"])
+	}
+	if MetricsMap(nil) != nil {
+		t.Error("empty snapshot should map to nil")
+	}
+	// The map must survive a JSON round trip losslessly enough to diff.
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves, err := bench.NumericLeaves(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves["c"] != 3 || leaves["h.count"] != 1 {
+		t.Errorf("leaves: %v", leaves)
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"time"
+
+	"sarmany/internal/bench"
+)
+
+// NewEntry assembles the provenance fields every CLI run manifest
+// shares: tool identity, args, wall clock, the envelope salt and code
+// version, host shape, and the content-hashed configuration document.
+// Callers fill Metrics, Envelope, Seed, FaultPlan and Extra afterwards.
+func NewEntry(tool string, start time.Time, config any, args ...string) (Entry, error) {
+	doc, err := json.Marshal(config)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Tool:        tool,
+		Args:        args,
+		Start:       start,
+		WallSeconds: time.Since(start).Seconds(),
+		Salt:        bench.EnvelopeSalt,
+		Version:     bench.Version(),
+		Host:        CurrentHost(),
+		Config:      doc,
+		ConfigHash:  HashJSON(doc),
+	}, nil
+}
+
+// Record appends e to the ledger in dir and returns the run ID. An
+// empty dir disables recording (the CLI convention for -ledger "") and
+// returns an empty ID with no error. Callers should warn rather than
+// fail on an error — observability must never break the run it
+// observes.
+func Record(dir string, e Entry) (string, error) {
+	if dir == "" {
+		return "", nil
+	}
+	id, _, err := Open(dir).Append(e)
+	return id, err
+}

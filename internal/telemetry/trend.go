@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"sarmany/internal/bench"
+)
+
+// Trend rendering: tracking one numeric leaf across the run history as
+// a text table plus a unicode sparkline — `sarlog trend`.
+
+// sparkTicks are the eight block characters a sparkline is drawn with.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as one rune per value, scaled to the observed
+// range. Non-finite values render as spaces; a flat series renders at
+// mid height.
+func Sparkline(vals []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			b.WriteByte(' ')
+		case hi == lo:
+			b.WriteRune(sparkTicks[len(sparkTicks)/2])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(sparkTicks)-1))
+			b.WriteRune(sparkTicks[i])
+		}
+	}
+	return b.String()
+}
+
+// TrendPoint is one run's value of the tracked leaf.
+type TrendPoint struct {
+	ID    string
+	Start string // formatted start time
+	Value float64
+	OK    bool // false when the run has no such leaf
+}
+
+// LeafValue extracts one dotted numeric leaf (bench.DiffEnvelopes path
+// syntax, e.g. "metrics.emu.cycles.total" or "envelope.data.speedup")
+// from a ledger entry.
+func LeafValue(e Entry, path string) (float64, bool) {
+	b, err := MarshalEntry(e)
+	if err != nil {
+		return 0, false
+	}
+	leaves, err := bench.NumericLeaves(b)
+	if err != nil {
+		return 0, false
+	}
+	v, ok := leaves[path]
+	return v, ok
+}
+
+// WriteTrend renders the history of one leaf: a table of run ID, start
+// time and value, followed by a sparkline over the series and its
+// min/max. Runs without the leaf show "-" and leave a gap in the line.
+func WriteTrend(w io.Writer, path string, pts []TrendPoint) error {
+	if _, err := fmt.Fprintf(w, "%s across %d runs:\n", path, len(pts)); err != nil {
+		return err
+	}
+	vals := make([]float64, len(pts))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, p := range pts {
+		vals[i] = math.NaN()
+		if p.OK {
+			vals[i] = p.Value
+			lo = math.Min(lo, p.Value)
+			hi = math.Max(hi, p.Value)
+		}
+		val := "-"
+		if p.OK {
+			val = fmt.Sprintf("%g", p.Value)
+		}
+		if _, err := fmt.Fprintf(w, "  %-12s  %-25s  %s\n", p.ID, p.Start, val); err != nil {
+			return err
+		}
+	}
+	if !math.IsInf(lo, 1) {
+		if _, err := fmt.Fprintf(w, "  %s  (min %g, max %g)\n", Sparkline(vals), lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{5, 5, 5}); s != "▅▅▅" {
+		t.Errorf("flat sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{1, math.NaN(), 2}); s != "▁ █" {
+		t.Errorf("gap sparkline = %q", s)
+	}
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+}
+
+func TestLeafValueAndTrend(t *testing.T) {
+	e := testEntry(time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC), 1e6)
+	v, ok := LeafValue(e, "metrics.emu.cycles.total")
+	if !ok || v != 1e6 {
+		t.Fatalf("leaf = %v, %v", v, ok)
+	}
+	if _, ok := LeafValue(e, "metrics.no.such.leaf"); ok {
+		t.Error("missing leaf resolved")
+	}
+
+	var sb strings.Builder
+	pts := []TrendPoint{
+		{ID: "aaa", Start: "2026-08-08 10:00", Value: 100, OK: true},
+		{ID: "bbb", Start: "2026-08-08 11:00", OK: false},
+		{ID: "ccc", Start: "2026-08-08 12:00", Value: 200, OK: true},
+	}
+	if err := WriteTrend(&sb, "metrics.emu.cycles.total", pts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"across 3 runs", "aaa", "bbb", "-", "200", "min 100, max 200", "▁"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+}

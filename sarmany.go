@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"time"
 
 	"sarmany/internal/autofocus"
 	"sarmany/internal/bench"
@@ -30,6 +31,7 @@ import (
 	"sarmany/internal/sar"
 	"sarmany/internal/sizing"
 	"sarmany/internal/sweep"
+	"sarmany/internal/telemetry"
 )
 
 // Radar front end.
@@ -377,6 +379,10 @@ type (
 	// MetricsRegistry collects named counters, gauges, and histograms;
 	// see SweepOptions.Metrics.
 	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's metrics
+	// (MetricsRegistry.Snapshot): the input of WritePrometheus,
+	// WriteExpvar, and the ledger's metric maps.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // NewMetricsRegistry returns an empty metrics registry (for
@@ -551,3 +557,55 @@ func ChaosFaultPlan(severity float64, cores int) FaultPlan {
 func RunChaosSweep(ctx context.Context, cfg ExperimentConfig, severities []float64) ([]ChaosPoint, error) {
 	return bench.RunChaos(ctx, cfg, severities)
 }
+
+// Run ledger and telemetry exposition.
+type (
+	// RunLedger is the append-only, content-addressed store of run
+	// manifests the CLIs write under out/runs/; query it programmatically
+	// or with cmd/sarlog.
+	RunLedger = telemetry.Ledger
+	// RunManifest is one ledger entry: the full provenance of a run
+	// (parameters, seed, fault plan, code version, host) plus its metric
+	// snapshot and optional bench envelope.
+	RunManifest = telemetry.Entry
+	// FlightRecorder samples a live chip's per-core progress on a
+	// heartbeat, renders a status line, and dumps a post-mortem when a
+	// stall watchdog or wall-clock deadline fires.
+	FlightRecorder = telemetry.Recorder
+	// FlightRecorderOptions configures the recorder: the progress probe,
+	// heartbeat interval, stall/deadline watchdogs, status writer, and
+	// post-mortem path.
+	FlightRecorderOptions = telemetry.Options
+)
+
+// OpenRunLedger opens (lazily creating) the run ledger in dir.
+func OpenRunLedger(dir string) *RunLedger { return telemetry.Open(dir) }
+
+// NewRunManifest assembles the shared provenance fields of a manifest:
+// tool, args, wall clock, code version, host shape, and the
+// content-hashed configuration document.
+func NewRunManifest(tool string, start time.Time, config any, args ...string) (RunManifest, error) {
+	return telemetry.NewEntry(tool, start, config, args...)
+}
+
+// RecordRun appends a manifest to the ledger in dir and returns the run
+// ID; an empty dir disables recording and returns an empty ID.
+func RecordRun(dir string, e RunManifest) (string, error) { return telemetry.Record(dir, e) }
+
+// StartFlightRecorder starts the heartbeat goroutine; call Stop on the
+// returned recorder when the run completes. Attach the chip's progress
+// probe by enabling Epiphany progress cells first (EnableProgress).
+func StartFlightRecorder(opt FlightRecorderOptions) *FlightRecorder {
+	return telemetry.Start(opt)
+}
+
+// WritePrometheus renders a metric snapshot in Prometheus text
+// exposition format (histograms as cumulative buckets with p50/p90/p99
+// quantile gauges alongside).
+func WritePrometheus(w io.Writer, snap MetricsSnapshot, namespace string) error {
+	return telemetry.WritePrometheus(w, snap, namespace)
+}
+
+// WriteExpvar renders a metric snapshot as one expvar-compatible JSON
+// object.
+func WriteExpvar(w io.Writer, snap MetricsSnapshot) error { return telemetry.WriteExpvar(w, snap) }
