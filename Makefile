@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff baseline docscheck ledgersmoke clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench servesmoke benchdiff baseline docscheck ledgersmoke clean
 
 all: check
 
 # check runs the full verification gate: formatting, static analysis,
 # build, package-doc coverage, the race-enabled test suite, the chaos
 # (fault-injection) suite, a fuzz smoke pass over the fault-plan parser,
-# the simulator conformance suite, the emu-coverage guard, the sweep and
-# profiler throughput measurements, and the benchmark regression diff
-# against the committed baselines.
-check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench benchdiff
+# the simulator conformance suite, the emu-coverage guard, the sweep,
+# profiler and job-server throughput measurements, the benchmark
+# regression diff against the committed baselines, and the sarserve
+# end-to-end smoke test.
+check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench benchdiff servesmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -69,6 +70,18 @@ sweepbench:
 profbench:
 	PROFBENCH_OUT=$(CURDIR)/out $(GO) test -race -run TestProfile -count=1 ./internal/profile
 
+# servebench measures the job server's saturation behavior (three
+# offered loads plus a warm-cache rerun) under the race detector and
+# records it as out/BENCH_serve.json.
+servebench:
+	SERVEBENCH_OUT=$(CURDIR)/out $(GO) test -race -run TestServeSaturation -count=1 ./internal/serve
+
+# servesmoke is the sarserve end-to-end contract: build the daemon,
+# submit a real job over HTTP (must answer 200 done), assert the run
+# ledger recorded it, and SIGTERM must drain cleanly.
+servesmoke:
+	./scripts/servesmoke.sh
+
 # benchdiff gates the envelopes recorded by sweepbench/profbench against
 # the committed baselines. Modeled simulator output (cycles, span and
 # segment counts, job counts) must stay within the tolerance; wall-clock
@@ -76,20 +89,29 @@ profbench:
 # advisory — printed when they move, never a failure.
 BENCHDIFF_ADVISORY := data.seconds*,data.speedup,data.*_per_sec,data.host_cpus,data.analyze_seconds
 
+# The serve envelope additionally treats wall-clock latency quantiles
+# as advisory; its job accounting (completed/executed/cache-hit counts
+# and ratios) is deterministic and gates.
+SERVEDIFF_ADVISORY := $(BENCHDIFF_ADVISORY),data.*p50_seconds,data.*p99_seconds,data.*jobs_per_sec
+
 benchdiff:
 	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
 		BENCH_sweep.json out/BENCH_sweep.json
 	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
 		BENCH_profile.json out/BENCH_profile.json
+	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(SERVEDIFF_ADVISORY)' \
+		BENCH_serve.json out/BENCH_serve.json
 
 # baseline refreshes the committed envelopes from freshly recorded runs.
 # Use after an intentional change to modeled results, then commit the
 # updated BENCH_*.json files.
-baseline: sweepbench profbench
+baseline: sweepbench profbench servebench
 	cp out/BENCH_sweep.json BENCH_sweep.json
 	cp out/BENCH_profile.json BENCH_profile.json
+	cp out/BENCH_serve.json BENCH_serve.json
 
-# docscheck fails when any package lacks a package doc comment.
+# docscheck fails when any package (cmd/ binaries included) lacks a doc
+# comment, or when the serving layer exports an undocumented identifier.
 docscheck:
 	./scripts/checkdocs.sh
 

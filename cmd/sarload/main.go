@@ -1,0 +1,195 @@
+// Sarload is the load generator for a running sarserve daemon: it
+// submits synchronous (?wait=1) jobs at a fixed offered rate and
+// reports the end-to-end latency distribution, achieved throughput,
+// and how much of the work the server absorbed without fresh
+// simulation (dedup + cache).
+//
+// Usage:
+//
+//	sarload -url http://localhost:8357            # 60 jobs at 10/s
+//	sarload -n 240 -rate 50                       # heavier offered load
+//	sarload -exp gbp -scale small                 # the job every request submits
+//	sarload -distinct 8                           # tag cardinality (dedup ratio)
+//	sarload -tenant team-a                        # quota bucket to draw from
+//	sarload -tag-prefix run7                      # disjoint tags across runs
+//
+// Each request carries one of -distinct tags, so on a cold cache only
+// -distinct of the -n submissions need a fresh simulation; the rest
+// single-flight onto them, and a warm rerun needs none. That absorption
+// is a server-side fact (an attached request's record describes the
+// shared job, not the attach), so sarload snapshots /debug/vars before
+// and after the run and reports the counter deltas. Rejected requests
+// (429/503) are counted and retried never — sarload measures the
+// server's admission behavior rather than hiding it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// jobOutcome is one request's fate as sarload saw it.
+type jobOutcome struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+// serverCounters is the slice of /debug/vars sarload diffs across the
+// run to report what the server absorbed without fresh simulation.
+type serverCounters struct {
+	completed, deduplicated, executed float64
+	ok                                bool
+}
+
+// scrapeCounters reads the daemon's expvar endpoint; ok is false when
+// the endpoint is unreachable (some other backend) and the server-side
+// report is skipped.
+func scrapeCounters(url string) serverCounters {
+	resp, err := http.Get(url + "/debug/vars")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return serverCounters{}
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return serverCounters{}
+	}
+	num := func(key string) float64 {
+		v, _ := vars[key].(float64)
+		return v
+	}
+	return serverCounters{
+		completed:    num("serve.jobs.completed"),
+		deduplicated: num("serve.jobs.deduplicated"),
+		executed:     num("sweep.jobs.executed"),
+		ok:           true,
+	}
+}
+
+// finalRecord is the slice of the server's job record sarload needs.
+type finalRecord struct {
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8357", "sarserve base URL")
+	n := flag.Int("n", 60, "total jobs to submit")
+	rate := flag.Float64("rate", 10, "offered jobs per second")
+	exp := flag.String("exp", "gbp", "experiment key to submit")
+	scale := flag.String("scale", "small", "experiment scale (small or paper)")
+	distinct := flag.Int("distinct", 8, "distinct job tags (controls dedup ratio)")
+	tenant := flag.String("tenant", "", "tenant name for quota accounting")
+	tagPrefix := flag.String("tag-prefix", "load", "tag prefix (vary to defeat the cache)")
+	flag.Parse()
+	if *n <= 0 || *rate <= 0 || *distinct <= 0 {
+		fmt.Fprintln(os.Stderr, "sarload: -n, -rate and -distinct must be positive")
+		os.Exit(2)
+	}
+
+	before := scrapeCounters(*url)
+	interval := time.Duration(float64(time.Second) / *rate)
+	outcomes := make([]jobOutcome, *n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * interval)
+			outcomes[i] = submit(*url, *exp, *scale, *tenant,
+				fmt.Sprintf("%s-%02d", *tagPrefix, i%*distinct))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after := scrapeCounters(*url)
+
+	var ok, rejected, failed int
+	var latencies []float64
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			failed++
+			fmt.Fprintf(os.Stderr, "sarload: %v\n", o.err)
+		case o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable:
+			rejected++
+		case o.status == http.StatusOK:
+			ok++
+			latencies = append(latencies, o.latency.Seconds())
+		default:
+			failed++
+			fmt.Fprintf(os.Stderr, "sarload: unexpected status %d\n", o.status)
+		}
+	}
+
+	fmt.Printf("offered   %8.1f jobs/s (%d jobs, %d distinct)\n", *rate, *n, *distinct)
+	fmt.Printf("achieved  %8.1f jobs/s over %.2fs\n", float64(ok)/wall.Seconds(), wall.Seconds())
+	fmt.Printf("ok %d  rejected %d  failed %d\n", ok, rejected, failed)
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		fmt.Printf("latency   p50 %.3fs  p99 %.3fs  max %.3fs\n",
+			latencies[len(latencies)/2],
+			latencies[(len(latencies)*99)/100],
+			latencies[len(latencies)-1])
+	}
+	if before.ok && after.ok {
+		served := (after.completed - before.completed) + (after.deduplicated - before.deduplicated)
+		executed := after.executed - before.executed
+		if served > 0 {
+			fmt.Printf("cache-hit ratio %.3f (server ran %.0f simulations for %.0f served jobs)\n",
+				1-executed/served, executed, served)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// submit POSTs one synchronous job and reports its outcome. A 200
+// answer carries the final job record, which must have ended done.
+func submit(url, exp, scale, tenant, tag string) jobOutcome {
+	spec := map[string]string{"exp": exp, "tag": tag}
+	if scale != "" {
+		spec["scale"] = scale
+	}
+	if tenant != "" {
+		spec["tenant"] = tenant
+	}
+	body, _ := json.Marshal(spec)
+	t0 := time.Now()
+	resp, err := http.Post(url+"/v1/jobs?wait=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return jobOutcome{err: err}
+	}
+	defer resp.Body.Close()
+	o := jobOutcome{status: resp.StatusCode, latency: time.Since(t0)}
+	if resp.StatusCode == http.StatusOK {
+		var rec finalRecord
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			o.err = fmt.Errorf("decode record: %w", err)
+			return o
+		}
+		if rec.Status != "done" {
+			o.err = fmt.Errorf("job ended %s: %s", rec.Status, rec.Error)
+			return o
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return o
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled records in the saturation envelope whether the run paid
+// the race detector's overhead.
+const raceEnabled = false

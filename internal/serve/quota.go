@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig is the per-tenant admission budget: a token bucket holding
+// Burst tokens refilled at JobsPerSec. A zero JobsPerSec disables quota
+// enforcement entirely.
+type QuotaConfig struct {
+	// JobsPerSec is the sustained per-tenant submission rate (0 = no
+	// quota).
+	JobsPerSec float64
+	// Burst is the bucket capacity — how many jobs a tenant may submit
+	// back to back before the rate limit bites (<= 0 means
+	// max(1, ceil(JobsPerSec))).
+	Burst int
+}
+
+// QuotaError is the typed admission failure for an exhausted tenant
+// budget.
+type QuotaError struct {
+	// Tenant is the exhausted budget's owner.
+	Tenant string
+	// RetryAfter is how long until the bucket holds a whole token again.
+	RetryAfter time.Duration
+}
+
+// Error names the over-quota tenant and its refill hint.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over quota, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// quotas tracks one token bucket per tenant. Buckets materialize on
+// first use, full.
+type quotas struct {
+	cfg QuotaConfig
+	mu  sync.Mutex
+	b   map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	if cfg.JobsPerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Max(1, math.Ceil(cfg.JobsPerSec)))
+	}
+	return &quotas{cfg: cfg, b: make(map[string]*bucket)}
+}
+
+// admit spends one token from tenant's bucket, or returns a *QuotaError
+// with the time until a whole token refills.
+func (q *quotas) admit(tenant string, now time.Time) error {
+	if q.cfg.JobsPerSec <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	bk, ok := q.b[tenant]
+	if !ok {
+		bk = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.b[tenant] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(float64(q.cfg.Burst), bk.tokens+dt*q.cfg.JobsPerSec)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - bk.tokens) / q.cfg.JobsPerSec * float64(time.Second))
+	return &QuotaError{Tenant: tenant, RetryAfter: wait}
+}

@@ -1,0 +1,531 @@
+// Package serve is the SAR-as-a-service layer: a long-running job
+// server that accepts image-formation and sweep jobs over HTTP/JSON,
+// coalesces them through a bounded batcher (batch-size + max-wait flush,
+// per-request result channels), and executes them on the
+// internal/sweep pool with the content-addressed result cache as a
+// shared store — duplicate submissions are single-flighted across
+// tenants and replay byte-identical envelopes.
+//
+// Admission control happens in three stages, each with a typed error
+// and an HTTP backpressure mapping:
+//
+//   - draining:   *DrainingError  -> 503 + Retry-After
+//   - quota:      *QuotaError     -> 429 + Retry-After (per-tenant token bucket)
+//   - queue full: *QueueFullError -> 429 + Retry-After (bounded batcher queue)
+//
+// Job identifiers are content addresses (a prefix of the sweep cache
+// key), so resubmitting the same job is idempotent: the second POST
+// attaches to the first record, and a completed job's result serves
+// straight from memory or the shared cache. Request deadlines propagate
+// via context.Context into the executing kernels; graceful drain stops
+// admission, flushes in-flight batches and appends a final ledger
+// entry. Every completed job is recorded in the internal/telemetry run
+// ledger, and the obs registry behind /metrics carries serve.* and
+// sweep.* series for scrape tooling.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"sarmany/internal/bench"
+	"sarmany/internal/obs"
+	"sarmany/internal/report"
+	"sarmany/internal/sweep"
+	"sarmany/internal/telemetry"
+)
+
+// JobSpec is the POST /v1/jobs request body: which experiment to run, at
+// which scale, for which tenant.
+type JobSpec struct {
+	// Exp selects the workload — any cmd/benchtab experiment key
+	// (bench.Keys lists them: t1, fig7, scaling, bw, interp, pipes, gbp,
+	// base, rda, upsample, chaos).
+	Exp string `json:"exp"`
+	// Scale is "small" (reduced, default) or "paper" (full paper scale).
+	Scale string `json:"scale,omitempty"`
+	// Tenant names the quota bucket this job draws from ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Tag optionally distinguishes otherwise-identical jobs: it enters
+	// the job's content address, so load generators can control how much
+	// of their traffic deduplicates.
+	Tag string `json:"tag,omitempty"`
+	// TimeoutSeconds bounds the job's execution (0 = the server default).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// config resolves the spec's scale to an experiment configuration.
+func (s JobSpec) config() (report.Config, error) {
+	switch s.Scale {
+	case "", "small":
+		return report.Small(), nil
+	case "paper":
+		return report.Default(), nil
+	}
+	return report.Config{}, &SpecError{Msg: fmt.Sprintf("unknown scale %q (want \"small\" or \"paper\")", s.Scale)}
+}
+
+// SpecError is the typed rejection for a malformed job specification —
+// the HTTP layer maps it to 400 Bad Request.
+type SpecError struct {
+	// Msg says what is wrong with the spec.
+	Msg string
+}
+
+// Error describes what is wrong with the spec.
+func (e *SpecError) Error() string { return "serve: bad job spec: " + e.Msg }
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the sweep pool each batch executes on (<= 0 =
+	// GOMAXPROCS).
+	Workers int
+	// CacheDir is the shared content-addressed result store; empty
+	// disables caching (every job simulates).
+	CacheDir string
+	// BatchSize and MaxWait configure the batcher flush policy (see
+	// BatcherOptions).
+	BatchSize int
+	MaxWait   time.Duration
+	// QueueLimit bounds queued+executing requests (default 256).
+	QueueLimit int
+	// Quota is the per-tenant admission budget (zero = unlimited).
+	Quota QuotaConfig
+	// JobTimeout is the default per-job execution bound applied when a
+	// spec carries no timeout_seconds (0 = none).
+	JobTimeout time.Duration
+	// LedgerDir receives one run-ledger entry per completed job plus the
+	// final drain summary ("" disables recording).
+	LedgerDir string
+	// Metrics receives serve.* and sweep.* series (nil = a private
+	// registry; Server.Registry exposes it either way).
+	Metrics *obs.Registry
+	// Salt overrides the content-address salt ("" = sweep.Salt).
+	Salt string
+	// Run overrides the job runner (nil = bench.Compute on the spec's
+	// experiment). Tests use this to serve synthetic workloads.
+	Run sweep.RunFunc
+}
+
+// serveMetrics bundles the server's registry instruments.
+type serveMetrics struct {
+	accepted, completed, failed, cacheHits     *obs.Counter
+	rejQuota, rejQueue, rejDraining, dupAttach *obs.Counter
+	queueDepth                                 *obs.Gauge
+	batchJobs, jobSeconds, requestSeconds      *obs.Histogram
+}
+
+// Server is the batching job server. Create one with NewServer, mount
+// Handler on an http.Server, and Drain it on shutdown.
+type Server struct {
+	opt     Options
+	base    context.Context
+	stop    context.CancelFunc
+	batcher *Batcher
+	store   *store
+	quotas  *quotas
+	reg     *obs.Registry
+	m       serveMetrics
+	started time.Time
+	salt    string
+	run     sweep.RunFunc
+
+	drainCh chan struct{} // closed when Drain begins
+}
+
+// NewServer returns a ready-to-serve job server.
+func NewServer(opt Options) *Server {
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	salt := opt.Salt
+	if salt == "" {
+		salt = sweep.Salt
+	}
+	run := opt.Run
+	if run == nil {
+		run = func(ctx context.Context, j sweep.Job) (bench.Result, error) {
+			return bench.Compute(ctx, j.Exp, j.Config, "")
+		}
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opt:     opt,
+		base:    base,
+		stop:    stop,
+		store:   newStore(),
+		quotas:  newQuotas(opt.Quota),
+		reg:     reg,
+		started: time.Now(),
+		salt:    salt,
+		run:     run,
+		drainCh: make(chan struct{}),
+		m: serveMetrics{
+			accepted:       reg.Counter("serve.jobs.accepted"),
+			completed:      reg.Counter("serve.jobs.completed"),
+			failed:         reg.Counter("serve.jobs.failed"),
+			cacheHits:      reg.Counter("serve.jobs.cachehits"),
+			rejQuota:       reg.Counter("serve.jobs.rejected.quota"),
+			rejQueue:       reg.Counter("serve.jobs.rejected.queue"),
+			rejDraining:    reg.Counter("serve.jobs.rejected.draining"),
+			dupAttach:      reg.Counter("serve.jobs.deduplicated"),
+			queueDepth:     reg.Gauge("serve.queue.depth"),
+			batchJobs:      reg.Histogram("serve.batch.jobs"),
+			jobSeconds:     reg.Histogram("serve.job.seconds"),
+			requestSeconds: reg.Histogram("serve.request.seconds"),
+		},
+	}
+	s.batcher = NewBatcher(BatcherOptions{
+		BatchSize:  opt.BatchSize,
+		MaxWait:    opt.MaxWait,
+		QueueLimit: opt.QueueLimit,
+		RetryAfter: s.retryAfterHint,
+		Exec:       s.execBatch,
+	})
+	return s
+}
+
+// Registry exposes the server's metric registry (the /metrics and
+// /debug/vars source).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// retryAfterHint estimates how long a rejected client should back off:
+// the time for the current queue to clear at the observed median job
+// rate, clamped to [1s, 60s]. With no history it suggests one second.
+func (s *Server) retryAfterHint() time.Duration {
+	depth := s.batcher.Depth()
+	p50 := s.m.jobSeconds.Quantile(0.5)
+	workers := s.opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if math.IsNaN(p50) || p50 <= 0 || depth == 0 {
+		return time.Second
+	}
+	sec := math.Ceil(float64(depth) * p50 / float64(workers))
+	return time.Duration(math.Min(math.Max(sec, 1), 60)) * time.Second
+}
+
+// JobID computes a spec's content-addressed identifier without
+// submitting it: a 16-hex-character prefix of the sweep cache key over
+// the spec's experiment, configuration, tag and the server salt.
+func (s *Server) JobID(spec JobSpec) (string, sweep.Job, error) {
+	cfg, err := spec.config()
+	if err != nil {
+		return "", sweep.Job{}, err
+	}
+	job := sweep.Job{Name: spec.Exp, Exp: spec.Exp, Config: cfg}
+	if spec.Tag != "" {
+		job.Extra = map[string]string{"tag": spec.Tag}
+	}
+	key, err := sweep.Key(job, s.salt)
+	if err != nil {
+		return "", sweep.Job{}, err
+	}
+	return key[:16], job, nil
+}
+
+// Submit runs the admission pipeline for one spec: draining check,
+// tenant quota, content-address lookup (an existing live record attaches
+// without executing), then the bounded batcher. The returned JobInfo is
+// the record's current state; rec.done (via WaitDone) resolves when the
+// job completes.
+func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
+	if s.Draining() {
+		s.m.rejDraining.Add(1)
+		return JobInfo{}, &DrainingError{}
+	}
+	if !knownExp(spec.Exp) {
+		return JobInfo{}, &SpecError{Msg: fmt.Sprintf("unknown experiment %q (want one of %v)", spec.Exp, bench.Keys())}
+	}
+	id, job, err := s.JobID(spec)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	// An existing live record single-flights the duplicate before it
+	// costs quota or a queue slot.
+	if rec, ok := s.store.get(id); ok {
+		if info := rec.snapshot(); info.Status != StatusFailed {
+			s.m.dupAttach.Add(1)
+			return info, nil
+		}
+	}
+	if err := s.quotas.admit(tenantOf(spec), time.Now()); err != nil {
+		s.m.rejQuota.Add(1)
+		return JobInfo{}, err
+	}
+	rec, fresh := s.store.admit(id, spec, time.Now())
+	if !fresh {
+		s.m.dupAttach.Add(1)
+		return rec.snapshot(), nil
+	}
+
+	timeout := s.opt.JobTimeout
+	if spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	}
+	ctx := s.base
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	req, err := s.batcher.Submit(ctx, id, job)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		// Roll the record back so a retry after backoff re-admits.
+		rec.complete(nil, false, 0, err.Error(), "")
+		if _, ok := err.(*QueueFullError); ok {
+			s.m.rejQueue.Add(1)
+		}
+		return JobInfo{}, err
+	}
+	if cancel != nil {
+		// The batcher cancels the request context on delivery; release
+		// the timeout timer right behind it.
+		context.AfterFunc(req.Context(), cancel)
+	}
+	s.m.accepted.Add(1)
+	s.m.queueDepth.Set(float64(s.batcher.Depth()))
+	return rec.snapshot(), nil
+}
+
+// WaitDone blocks until the job with id completes (or ctx is done) and
+// returns its final info.
+func (s *Server) WaitDone(ctx context.Context, id string) (JobInfo, error) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return JobInfo{}, fmt.Errorf("serve: no job %s", id)
+	}
+	select {
+	case <-rec.done:
+		return rec.snapshot(), nil
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// Info returns the current state of job id.
+func (s *Server) Info(id string) (JobInfo, bool) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return JobInfo{}, false
+	}
+	return rec.snapshot(), true
+}
+
+// Result returns the completed job's envelope bytes and info.
+func (s *Server) Result(id string) ([]byte, JobInfo, bool) {
+	rec, ok := s.store.get(id)
+	if !ok {
+		return nil, JobInfo{}, false
+	}
+	raw, info := rec.result()
+	return raw, info, true
+}
+
+// execBatch executes one flushed batch on the sweep pool. Each batch
+// slot's Name carries its index so the runner can recover the request
+// and honor its context (per-request deadline) inside the kernel.
+func (s *Server) execBatch(batch []*Request) {
+	s.m.batchJobs.Observe(float64(len(batch)))
+	flushed := time.Now()
+	jobs := make([]sweep.Job, len(batch))
+	for i, r := range batch {
+		jobs[i] = r.Job
+		jobs[i].Name = strconv.Itoa(i)
+		if rec, ok := s.store.get(r.ID); ok {
+			rec.setRunning()
+		}
+	}
+	results, err := sweep.Run(s.base, jobs, sweep.Options{
+		Workers:  s.opt.Workers,
+		CacheDir: s.opt.CacheDir,
+		Metrics:  s.reg,
+		Salt:     s.salt,
+		Run: func(ctx context.Context, j sweep.Job) (bench.Result, error) {
+			i, aerr := strconv.Atoi(j.Name)
+			if aerr != nil || i < 0 || i >= len(batch) {
+				return bench.Result{}, fmt.Errorf("serve: lost batch slot %q", j.Name)
+			}
+			req := batch[i]
+			jctx, cancel := joinContext(ctx, req.Context())
+			defer cancel()
+			orig := req.Job
+			return s.run(jctx, orig)
+		},
+	})
+	if err != nil {
+		// Sweep-level failure (unusable cache dir): fail the whole batch.
+		for _, r := range batch {
+			r.deliver(sweep.JobResult{Job: r.Job, Err: err})
+			s.finish(r, sweep.JobResult{Job: r.Job, Err: err}, flushed)
+		}
+		return
+	}
+	for i, r := range batch {
+		res := results[i]
+		r.deliver(res)
+		s.finish(r, res, flushed)
+	}
+	s.m.queueDepth.Set(float64(s.batcher.Depth()))
+}
+
+// finish resolves the request's store record, updates counters and
+// records the completed job in the run ledger.
+func (s *Server) finish(r *Request, res sweep.JobResult, flushed time.Time) {
+	rec, ok := s.store.get(r.ID)
+	if !ok {
+		return
+	}
+	dur := res.Duration
+	if dur == 0 {
+		dur = time.Since(flushed)
+	}
+	s.m.jobSeconds.Observe(dur.Seconds())
+	// serve.request.seconds is the end-to-end latency a submitter saw:
+	// queueing (batch fill + max-wait) plus execution.
+	s.m.requestSeconds.Observe(time.Since(rec.snapshot().SubmittedAt).Seconds())
+	errMsg := ""
+	if res.Err != nil {
+		errMsg = res.Err.Error()
+		s.m.failed.Add(1)
+	} else {
+		s.m.completed.Add(1)
+		if res.Cached {
+			s.m.cacheHits.Add(1)
+		}
+	}
+	runID := s.recordJob(rec.snapshot().Spec, r.ID, res, errMsg)
+	rec.complete(res.Raw, res.Cached, dur, errMsg, runID)
+}
+
+// recordJob appends one completed-job entry to the run ledger
+// (best-effort: a ledger failure never fails the job it describes).
+func (s *Server) recordJob(spec JobSpec, id string, res sweep.JobResult, errMsg string) string {
+	if s.opt.LedgerDir == "" {
+		return ""
+	}
+	e, err := telemetry.NewEntry("sarserve.job", time.Now(), map[string]any{
+		"exp": spec.Exp, "scale": spec.Scale, "tag": spec.Tag,
+	}, "exp="+spec.Exp, "tenant="+tenantOf(spec))
+	if err != nil {
+		return ""
+	}
+	e.WallSeconds = res.Duration.Seconds()
+	e.Extra = map[string]any{
+		"job_id": id,
+		"tenant": tenantOf(spec),
+		"cached": res.Cached,
+		"failed": errMsg != "",
+	}
+	if errMsg != "" {
+		e.Extra["error"] = errMsg
+	}
+	if len(res.Raw) > 0 {
+		e.Envelope = res.Raw
+	}
+	runID, err := telemetry.Record(s.opt.LedgerDir, e)
+	if err != nil {
+		return ""
+	}
+	return runID
+}
+
+// Drain gracefully shuts the server down: admission stops (readyz turns
+// 503, POST /v1/jobs returns 503 + Retry-After), the pending partial
+// batch flushes, in-flight jobs run to completion (bounded by ctx), and
+// a final summary entry lands in the run ledger. Jobs still running when
+// ctx expires are cancelled.
+func (s *Server) Drain(ctx context.Context) error {
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+	}
+	err := s.batcher.Close(ctx)
+	if err != nil {
+		s.stop() // cut the stragglers loose before the process exits
+	}
+	s.recordDrain(err)
+	return err
+}
+
+// recordDrain appends the final drain summary to the run ledger.
+func (s *Server) recordDrain(drainErr error) {
+	if s.opt.LedgerDir == "" {
+		return
+	}
+	e, err := telemetry.NewEntry("sarserve", s.started, map[string]any{
+		"workers":     s.opt.Workers,
+		"batch_size":  s.opt.BatchSize,
+		"queue_limit": s.opt.QueueLimit,
+		"quota_jps":   s.opt.Quota.JobsPerSec,
+	})
+	if err != nil {
+		return
+	}
+	e.Metrics = telemetry.MetricsMap(s.reg.Snapshot())
+	e.Extra = map[string]any{
+		"jobs_stored": s.store.len(),
+		"drain_clean": drainErr == nil,
+	}
+	_, _ = telemetry.Record(s.opt.LedgerDir, e)
+}
+
+// knownExp reports whether exp is a built-in benchmark experiment key.
+func knownExp(exp string) bool {
+	for _, k := range bench.Keys() {
+		if k == exp {
+			return true
+		}
+	}
+	return false
+}
+
+// tenantOf resolves the spec's quota bucket name.
+func tenantOf(spec JobSpec) string {
+	if spec.Tenant == "" {
+		return "default"
+	}
+	return spec.Tenant
+}
+
+// joinContext derives a context cancelled when either parent is done —
+// how a per-request deadline composes with the server's base context
+// inside the sweep runner. b's deadline carries over as a real deadline,
+// so an overrun surfaces as context.DeadlineExceeded, not a bare cancel.
+func joinContext(a, b context.Context) (context.Context, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if dl, ok := b.Deadline(); ok {
+		ctx, cancel = context.WithDeadline(a, dl)
+	} else {
+		ctx, cancel = context.WithCancel(a)
+	}
+	stop := context.AfterFunc(b, func() {
+		// When b ended on its deadline, the joined context carries the
+		// same deadline and its own timer reports DeadlineExceeded;
+		// cancelling here would race it and misreport Canceled.
+		if !errors.Is(b.Err(), context.DeadlineExceeded) {
+			cancel()
+		}
+	})
+	return ctx, func() { stop(); cancel() }
+}

@@ -1,7 +1,11 @@
 #!/bin/sh
-# checkdocs fails when the root package or any internal package lacks a
-# package doc comment ("// Package <name> ..." above the package clause
-# in a non-test file). Run via `make docscheck`; part of `make check`.
+# checkdocs fails when any package lacks a doc comment: library packages
+# need "// Package <name> ..." above the package clause, commands under
+# cmd/ need a comment block directly above "package main" (the godoc
+# synopsis for the binary). Packages whose exported surface is a public
+# contract (internal/serve) additionally require a doc comment on every
+# exported identifier, via scripts/checkexported. Run via `make
+# docscheck`; part of `make check`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,9 +24,31 @@ while IFS='|' read -r path name dir; do
 	fi
 done)
 
-if [ -n "$missing" ]; then
+# Commands: some non-test file must carry a comment line directly above
+# its "package main" clause.
+cmd_missing=$(go list -f '{{.ImportPath}}|{{.Dir}}' ./cmd/... | \
+while IFS='|' read -r path dir; do
+	found=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		if awk 'prev ~ /^\/\// && /^package main$/ { found = 1 } { prev = $0 }
+			END { exit !found }' "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "$path (want a '// ...' doc comment directly above 'package main')"
+	fi
+done)
+
+if [ -n "$missing" ] || [ -n "$cmd_missing" ]; then
 	echo "checkdocs: packages missing a package doc comment:"
-	echo "$missing" | sed 's/^/  /'
+	{ echo "$missing"; echo "$cmd_missing"; } | sed '/^$/d; s/^/  /'
 	exit 1
 fi
-echo "checkdocs: all packages documented"
+
+# Exported-identifier coverage for the serving layer's public surface.
+go run ./scripts/checkexported internal/serve
+
+echo "checkdocs: all packages and exported identifiers documented"

@@ -1,0 +1,113 @@
+// Checkexported fails when a package exports an undocumented
+// identifier: every exported const, var, func, type, and method on an
+// exported type must carry a doc comment. Run it with package
+// directories as arguments:
+//
+//	go run ./scripts/checkexported internal/serve
+//
+// It is wired into scripts/checkdocs.sh (and therefore `make
+// docscheck` / `make check`) for the packages whose exported surface
+// is a public contract.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkexported <pkg-dir> [pkg-dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := check(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkexported: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "checkexported: %s: %s is exported but undocumented\n", dir, m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// check parses one package directory and returns the names of exported
+// identifiers that lack a doc comment.
+func check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		name := fi.Name()
+		return len(name) < 8 || name[len(name)-8:] != "_test.go"
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, pkg := range pkgs {
+		// doc.New reorganizes comments into the same model godoc uses,
+		// so "documented" here means exactly what a reader would see.
+		d := doc.New(pkg, dir, 0)
+		for _, v := range d.Consts {
+			missing = appendValueMissing(missing, "const", v)
+		}
+		for _, v := range d.Vars {
+			missing = appendValueMissing(missing, "var", v)
+		}
+		for _, f := range d.Funcs {
+			missing = appendFuncMissing(missing, f)
+		}
+		for _, t := range d.Types {
+			if ast.IsExported(t.Name) && t.Doc == "" {
+				missing = append(missing, "type "+t.Name)
+			}
+			for _, v := range t.Consts {
+				missing = appendValueMissing(missing, "const", v)
+			}
+			for _, v := range t.Vars {
+				missing = appendValueMissing(missing, "var", v)
+			}
+			for _, f := range append(t.Funcs, t.Methods...) {
+				missing = appendFuncMissing(missing, f)
+			}
+		}
+	}
+	return missing, nil
+}
+
+// appendValueMissing flags an exported const/var group whose
+// declaration carries no doc comment.
+func appendValueMissing(missing []string, kind string, v *doc.Value) []string {
+	if v.Doc != "" {
+		return missing
+	}
+	for _, name := range v.Names {
+		if ast.IsExported(name) {
+			missing = append(missing, kind+" "+name)
+		}
+	}
+	return missing
+}
+
+// appendFuncMissing flags an exported function or method without a doc
+// comment (methods on exported receivers only — doc.New already hides
+// the rest).
+func appendFuncMissing(missing []string, f *doc.Func) []string {
+	if f.Doc != "" || !ast.IsExported(f.Name) {
+		return missing
+	}
+	name := "func " + f.Name
+	if f.Recv != "" {
+		name = fmt.Sprintf("method (%s).%s", f.Recv, f.Name)
+	}
+	return append(missing, name)
+}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# servesmoke is the end-to-end smoke test of the sarserve daemon: build
+# it, start it on a scratch port with a scratch ledger, submit one real
+# job over HTTP and assert a 200 with a done record, then SIGTERM the
+# process and assert a clean drain (exit 0) that left both the per-job
+# and the drain-summary entries in the run ledger. Run via
+# `make servesmoke`; wired into CI.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${SERVESMOKE_ADDR:-127.0.0.1:18357}"
+WORK="out/servesmoke"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+go build -o "$WORK/sarserve" ./cmd/sarserve
+
+"$WORK/sarserve" -addr "$ADDR" -j 2 -ledger "$WORK/runs" \
+	-cache-dir "$WORK/cache" 2> "$WORK/sarserve.log" &
+PID=$!
+trap 'kill "$PID" 2> /dev/null || true' EXIT
+
+# Wait for readiness (the daemon binds before readyz answers).
+ready=0
+for _ in $(seq 1 50); do
+	if curl -sf "http://$ADDR/readyz" > /dev/null 2>&1; then
+		ready=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$ready" -ne 1 ]; then
+	echo "servesmoke: daemon never became ready"
+	cat "$WORK/sarserve.log"
+	exit 1
+fi
+
+# Submit one synchronous job; the response must be a 200 done record.
+status=$(curl -s -o "$WORK/job.json" -w '%{http_code}' \
+	-X POST "http://$ADDR/v1/jobs?wait=1" \
+	-H 'Content-Type: application/json' \
+	-d '{"exp": "pipes", "tag": "smoke"}')
+if [ "$status" != "200" ]; then
+	echo "servesmoke: POST /v1/jobs?wait=1 answered $status, want 200"
+	cat "$WORK/job.json"
+	exit 1
+fi
+grep -q '"status": "done"' "$WORK/job.json" || {
+	echo "servesmoke: job record is not done:"
+	cat "$WORK/job.json"
+	exit 1
+}
+
+# The completed job must have landed in the run ledger.
+go run ./cmd/sarlog list -dir "$WORK/runs" > "$WORK/ledger.txt"
+grep -q 'sarserve.job' "$WORK/ledger.txt" || {
+	echo "servesmoke: no sarserve.job entry in the ledger:"
+	cat "$WORK/ledger.txt"
+	exit 1
+}
+
+# SIGTERM must drain cleanly: exit 0 and a final drain-summary entry.
+kill -TERM "$PID"
+drain_status=0
+wait "$PID" || drain_status=$?
+trap - EXIT
+if [ "$drain_status" -ne 0 ]; then
+	echo "servesmoke: daemon exited $drain_status on SIGTERM, want 0"
+	cat "$WORK/sarserve.log"
+	exit 1
+fi
+grep -q 'drained cleanly' "$WORK/sarserve.log" || {
+	echo "servesmoke: no clean-drain message:"
+	cat "$WORK/sarserve.log"
+	exit 1
+}
+go run ./cmd/sarlog list -dir "$WORK/runs" > "$WORK/ledger.txt"
+grep -q 'sarserve ' "$WORK/ledger.txt" || {
+	echo "servesmoke: no sarserve drain summary in the ledger:"
+	cat "$WORK/ledger.txt"
+	exit 1
+}
+
+echo "servesmoke: submit 200, job ledgered, clean SIGTERM drain"
