@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench servesmoke benchdiff baseline docscheck ledgersmoke clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench servesmoke tracesmoke benchdiff baseline docscheck ledgersmoke clean
 
 all: check
 
@@ -10,8 +10,8 @@ all: check
 # the simulator conformance suite, the emu-coverage guard, the sweep,
 # profiler and job-server throughput measurements, the benchmark
 # regression diff against the committed baselines, and the sarserve
-# end-to-end smoke test.
-check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench benchdiff servesmoke
+# end-to-end and request-tracing smoke tests.
+check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench benchdiff servesmoke tracesmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -81,6 +81,13 @@ servebench:
 # ledger recorded it, and SIGTERM must drain cleanly.
 servesmoke:
 	./scripts/servesmoke.sh
+
+# tracesmoke is the request-tracing contract: a live sarserve submission
+# must answer with a trace ID, and `sarlog trace <id>` must render a
+# span tree covering admission, queue wait, batch formation, execution
+# and the ledger write.
+tracesmoke:
+	./scripts/tracesmoke.sh
 
 # benchdiff gates the envelopes recorded by sweepbench/profbench against
 # the committed baselines. Modeled simulator output (cycles, span and

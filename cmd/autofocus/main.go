@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"os"
 	"strings"
 	"time"
 
@@ -25,6 +24,7 @@ import (
 	"sarmany/internal/ffbp"
 	"sarmany/internal/geom"
 	"sarmany/internal/interp"
+	"sarmany/internal/logx"
 	"sarmany/internal/mat"
 	"sarmany/internal/quality"
 	"sarmany/internal/sar"
@@ -44,7 +44,10 @@ func main() {
 		maxPx   = flag.Float64("max", 1.5, "sweep half-range in range pixels (<= 1.5)")
 		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg := logCfg.MustNew("autofocus")
 	start := time.Now()
 
 	p := sar.DefaultParams()
@@ -106,9 +109,9 @@ func main() {
 				"best_score":    best.Score,
 			}
 			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
-				log.Printf("ledger: %v", lerr)
+				lg.Warn("ledger append failed", "err", lerr)
 			} else {
-				fmt.Fprintf(os.Stderr, "autofocus: run %s recorded in %s\n", id, *ledgerD)
+				lg.Info(fmt.Sprintf("run %s recorded in %s", id, *ledgerD), "run_id", id)
 			}
 		}
 	}

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -27,6 +26,7 @@ import (
 	"sarmany/internal/geom"
 	"sarmany/internal/imageio"
 	"sarmany/internal/interp"
+	"sarmany/internal/logx"
 	"sarmany/internal/mat"
 	"sarmany/internal/quality"
 	"sarmany/internal/report"
@@ -48,7 +48,10 @@ func main() {
 		ground  = flag.Float64("ground", 0, "also write a geocoded ground raster at this resolution in metres (suffix _ground)")
 		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg := logCfg.MustNew("backproject")
 	wallStart := time.Now()
 
 	p, data, err := dataio.ReadFile(*in)
@@ -133,9 +136,9 @@ func main() {
 				"seconds":    elapsed.Seconds(),
 			}
 			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
-				log.Printf("ledger: %v", lerr)
+				lg.Warn("ledger append failed", "err", lerr)
 			} else {
-				fmt.Fprintf(os.Stderr, "backproject: run %s recorded in %s\n", id, *ledgerD)
+				lg.Info(fmt.Sprintf("run %s recorded in %s", id, *ledgerD), "run_id", id)
 			}
 		}
 	}

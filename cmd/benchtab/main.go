@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"sarmany/internal/bench"
+	"sarmany/internal/logx"
 	"sarmany/internal/obs"
 	"sarmany/internal/report"
 	"sarmany/internal/sweep"
@@ -68,7 +69,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
 	metricF := flag.String("metrics", "", "write a sweep metrics snapshot JSON file")
 	ledgerD := flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg := logCfg.MustNew("benchtab")
 	start := time.Now()
 
 	cfg := report.Default()
@@ -85,7 +89,7 @@ func main() {
 			}
 		}
 		if selected == nil {
-			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+			lg.Error("unknown experiment", "exp", *exp)
 			os.Exit(2)
 		}
 	}
@@ -107,7 +111,7 @@ func main() {
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		lg.Error("sweep failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -120,20 +124,20 @@ func main() {
 		fmt.Println(header)
 		if r.Err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, r.Err)
+			lg.Error(r.Job.Name+" failed", "err", r.Err)
 			continue
 		}
 		if r.Job.Exp == "fig7" && !r.Cached {
 			fmt.Printf("wrote %s\n", imgDir)
 		}
 		if err := bench.PrintResult(os.Stdout, r.Result); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, err)
+			lg.Error(r.Job.Name+" failed", "err", err)
 			os.Exit(1)
 		}
 		if *jsonOut {
 			path, err := bench.WriteFileRaw(*jsonDir, r.Result.Name, r.Raw)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.Job.Name, err)
+				lg.Error(r.Job.Name+" failed", "err", err)
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", path)
@@ -157,7 +161,7 @@ func main() {
 			"params": cfg.Params,
 		}, "exp="+*exp, fmt.Sprintf("small=%v", *small))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: ledger: %v\n", err)
+			lg.Warn("ledger entry failed", "err", err)
 		} else {
 			e.Metrics = telemetry.MetricsMap(reg.Snapshot())
 			e.Extra = map[string]any{
@@ -169,9 +173,9 @@ func main() {
 				e.Envelope = results[0].Raw
 			}
 			if id, err := telemetry.Record(*ledgerD, e); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtab: ledger: %v\n", err)
+				lg.Warn("ledger append failed", "err", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "benchtab: run %s recorded in %s\n", id, *ledgerD)
+				lg.Info(fmt.Sprintf("run %s recorded in %s", id, *ledgerD), "run_id", id)
 			}
 		}
 	}
@@ -179,12 +183,12 @@ func main() {
 	if *metricF != "" {
 		f, err := os.Create(*metricF)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			lg.Error("metrics snapshot failed", "err", err)
 			os.Exit(1)
 		}
 		if err := reg.Snapshot().WriteJSON(f); err != nil {
 			f.Close()
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			lg.Error("metrics snapshot failed", "err", err)
 			os.Exit(1)
 		}
 		f.Close()

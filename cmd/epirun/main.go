@@ -22,6 +22,7 @@
 //	epirun -stallafter 30s                  # watchdog: post-mortem if wedged
 //	epirun -deadline 5m                     # post-mortem past the wall budget
 //	epirun -ledger ''                       # skip the out/runs run ledger
+//	epirun -log-format json                 # structured stderr diagnostics
 //
 // Every run appends a provenance manifest — parameters, fault plan,
 // code version, metric snapshot, modeled energy — to the content-
@@ -52,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -62,6 +64,7 @@ import (
 	"sarmany/internal/energy"
 	"sarmany/internal/fault"
 	"sarmany/internal/kernels"
+	"sarmany/internal/logx"
 	"sarmany/internal/obs"
 	"sarmany/internal/refcpu"
 	"sarmany/internal/report"
@@ -85,6 +88,10 @@ type summary struct {
 // scripts can tell a conformance violation from an ordinary usage error
 // (status 1).
 const exitConformFail = 2
+
+// lg is the tool's structured logger (see internal/logx), built from
+// -log-level/-log-format right after flag parsing.
+var lg *slog.Logger
 
 func main() {
 	log.SetFlags(0)
@@ -111,8 +118,18 @@ func main() {
 		pmF     = flag.String("postmortem", "", "post-mortem dump path (default out/postmortem-<pid>.txt)")
 		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg = logCfg.MustNew("epirun")
 	start := time.Now()
+
+	// The run's request-domain trace: one root span covering the whole
+	// invocation, with the simulator's cycle-domain tracks spliced in
+	// before the ledger entry is sealed — so `sarlog trace @-1` renders
+	// simulator runs with the same machinery as served requests.
+	runTr := obs.NewReqTrace(obs.NewTraceID())
+	runRoot := runTr.StartSpan("epirun")
 
 	cfg := report.Default()
 	if *small {
@@ -162,11 +179,13 @@ func main() {
 		tracer.PublishMetrics(reg)
 		snap := reg.Snapshot()
 		writeMetrics(*metricF, snap)
-		recordRun(*ledgerD, ledgerEntry(start, cfg, snap, map[string]any{
+		e := ledgerEntry(start, cfg, snap, map[string]any{
 			"machine": "intel-i7",
 			"cycles":  cpu.Cycles(),
 			"seconds": cpu.Seconds(),
-		}, runArgs{kernel: *kernel, cores: 1, small: *small}))
+		}, runArgs{kernel: *kernel, cores: 1, small: *small})
+		sealRunTrace(&e, runTr, runRoot, tracer, start, *kernel, "intel-i7")
+		recordRun(*ledgerD, e)
 		if *jsonOut {
 			writeSummary(summary{Kernel: *kernel, Machine: "intel-i7", Cores: 1,
 				ClockHz: cpu.P.Clock, Cycles: cpu.Cycles(), Seconds: cpu.Seconds(),
@@ -217,8 +236,9 @@ func main() {
 			log.Fatal(err)
 		}
 		planSeed = plan.Seed
-		fmt.Fprintf(os.Stderr, "epirun: fault plan %s: %d halt(s), %d derate(s), %d link fault(s), %d dma fault(s), seed %d\n",
-			*faultsF, len(plan.Halts), len(plan.Derates), len(plan.Links), len(plan.DMAs), plan.Seed)
+		lg.Info("fault plan "+*faultsF,
+			"halts", len(plan.Halts), "derates", len(plan.Derates),
+			"links", len(plan.Links), "dmas", len(plan.DMAs), "seed", plan.Seed)
 	}
 
 	// The flight recorder: a heartbeat goroutine sampling the chip's
@@ -249,7 +269,8 @@ func main() {
 			Deadline:       *deadlD,
 			PostmortemPath: *pmF,
 			OnDump: func(path, reason string) {
-				fmt.Fprintf(os.Stderr, "\nepirun: %s — post-mortem written to %s\n", reason, path)
+				fmt.Fprintln(os.Stderr) // break out of the \r status line
+				lg.Warn("post-mortem written", "reason", reason, "path", path)
 			},
 		}
 		if statusW != nil {
@@ -298,7 +319,7 @@ func main() {
 			log.Println(rep.Err())
 			os.Exit(exitConformFail)
 		}
-		fmt.Fprintln(os.Stderr, "epirun: conformance check passed")
+		lg.Info("conformance check passed")
 	}
 
 	writeTrace(*traceF, tracer)
@@ -342,6 +363,7 @@ func main() {
 		e.FaultHash = telemetry.HashJSON(planText)
 		e.Seed = planSeed
 	}
+	sealRunTrace(&e, runTr, runRoot, tracer, start, *kernel, machine)
 	recordRun(*ledgerD, e)
 
 	if *jsonOut {
@@ -409,7 +431,23 @@ func writeTrace(path string, tr *obs.Tracer) {
 		log.Fatal(err)
 	}
 	if n := tr.Dropped(); n > 0 {
-		fmt.Fprintf(os.Stderr, "epirun: trace ring overflow: %d oldest spans dropped\n", n)
+		lg.Warn("trace ring overflow", "dropped", n)
+	}
+}
+
+// sealRunTrace closes the run's root span, splices the simulator trace
+// under it (cycle domain converted to wall clock, anchored at the run
+// start) and embeds the resulting span tree plus trace ID in the ledger
+// entry. All trace leaves are advisory under ledger-diff semantics, so
+// identical runs still agree exactly.
+func sealRunTrace(e *telemetry.Entry, rt *obs.ReqTrace, root *obs.ReqSpan, sim *obs.Tracer, base time.Time, kernel, machine string) {
+	root.SetAttr("kernel", kernel)
+	root.SetAttr("machine", machine)
+	root.AttachSim(sim, base)
+	root.End()
+	e.TraceID = rt.TraceID().String()
+	if raw, err := json.Marshal(rt.Doc()); err == nil {
+		e.Trace = raw
 	}
 }
 
@@ -479,11 +517,11 @@ func ledgerEntry(start time.Time, cfg report.Config, snap obs.Snapshot, extra ma
 func recordRun(dir string, e telemetry.Entry) {
 	id, err := telemetry.Record(dir, e)
 	if err != nil {
-		log.Printf("ledger: %v", err)
+		lg.Warn("ledger append failed", "err", err)
 		return
 	}
 	if id != "" {
-		fmt.Fprintf(os.Stderr, "epirun: run %s recorded in %s\n", id, dir)
+		lg.Info(fmt.Sprintf("run %s recorded in %s", id, dir), "run_id", id, "trace_id", e.TraceID)
 	}
 }
 

@@ -34,12 +34,15 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sarmany/internal/logx"
 )
 
 // jobOutcome is one request's fate as sarload saw it.
 type jobOutcome struct {
 	status  int
 	latency time.Duration
+	trace   string // X-Trace-Id response header, for log correlation
 	err     error
 }
 
@@ -94,9 +97,12 @@ func main() {
 	distinct := flag.Int("distinct", 8, "distinct job tags (controls dedup ratio)")
 	tenant := flag.String("tenant", "", "tenant name for quota accounting")
 	tagPrefix := flag.String("tag-prefix", "load", "tag prefix (vary to defeat the cache)")
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg := logCfg.MustNew("sarload")
 	if *n <= 0 || *rate <= 0 || *distinct <= 0 {
-		fmt.Fprintln(os.Stderr, "sarload: -n, -rate and -distinct must be positive")
+		lg.Error("-n, -rate and -distinct must be positive")
 		os.Exit(2)
 	}
 
@@ -125,7 +131,7 @@ func main() {
 		switch {
 		case o.err != nil:
 			failed++
-			fmt.Fprintf(os.Stderr, "sarload: %v\n", o.err)
+			lg.Error("request failed", "err", o.err, "trace_id", o.trace)
 		case o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable:
 			rejected++
 		case o.status == http.StatusOK:
@@ -133,7 +139,7 @@ func main() {
 			latencies = append(latencies, o.latency.Seconds())
 		default:
 			failed++
-			fmt.Fprintf(os.Stderr, "sarload: unexpected status %d\n", o.status)
+			lg.Error("unexpected status", "status", o.status, "trace_id", o.trace)
 		}
 	}
 
@@ -177,7 +183,8 @@ func submit(url, exp, scale, tenant, tag string) jobOutcome {
 		return jobOutcome{err: err}
 	}
 	defer resp.Body.Close()
-	o := jobOutcome{status: resp.StatusCode, latency: time.Since(t0)}
+	o := jobOutcome{status: resp.StatusCode, latency: time.Since(t0),
+		trace: resp.Header.Get("X-Trace-Id")}
 	if resp.StatusCode == http.StatusOK {
 		var rec finalRecord
 		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {

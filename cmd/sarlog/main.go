@@ -8,10 +8,19 @@
 //	sarlog show [-dir out/runs] <ref>
 //	sarlog diff [-dir out/runs] [-tol 0] [-gate] <refA> <refB>
 //	sarlog trend [-dir out/runs] [-n 0] <leaf-path>
+//	sarlog trace [-dir out/runs] [-perfetto out.json] <ref|job-id|trace-id>
 //
 // A <ref> is "@-1" (the most recent run), "@-2" (the one before), or an
 // unambiguous run-ID prefix. Leaf paths use the dotted form the diff
 // prints, e.g. "metrics.emu.cycles.total" or "envelope.data.speedup".
+//
+// trace renders the span tree a traced run embedded in its ledger
+// entry: per-stage wall-clock timings from admission through queue
+// wait, batch formation, execution and ledger write (see
+// docs/OPERATIONS.md). Besides ledger refs it accepts the sarserve job
+// ID or the W3C trace ID (a prefix will do) printed in the X-Trace-Id
+// response header, and -perfetto additionally exports the tree in
+// Chrome trace-event form for the Perfetto UI.
 //
 // diff compares every leaf of the two manifests with the same relative
 // tolerance and advisory semantics as the benchdiff regression gate:
@@ -22,12 +31,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sarmany/internal/bench"
+	"sarmany/internal/obs"
 	"sarmany/internal/telemetry"
 )
 
@@ -54,6 +66,8 @@ func main() {
 		err = cmdDiff(args)
 	case "trend":
 		err = cmdTrend(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -72,6 +86,7 @@ func usage() {
   sarlog show  [-dir out/runs] <ref>
   sarlog diff  [-dir out/runs] [-tol 0] [-gate] <refA> <refB>
   sarlog trend [-dir out/runs] [-n 0] <leaf-path>
+  sarlog trace [-dir out/runs] [-perfetto out.json] <ref|job-id|trace-id>
 
 refs: @-1 (latest), @-2, ... or a run-id prefix
 `)
@@ -171,6 +186,84 @@ func cmdDiff(args []string) error {
 		os.Exit(exitGateFail)
 	}
 	return nil
+}
+
+// cmdTrace finds a traced run and renders its embedded span tree.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	dir := dirFlag(fs)
+	perfetto := fs.String("perfetto", "", "also write the trace in Chrome trace-event JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs exactly one reference (ledger ref, job id or trace id)")
+	}
+	e, err := resolveTraced(telemetry.Open(*dir), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(e.Trace) == 0 {
+		return fmt.Errorf("run %s (trace %s) has no embedded span tree — was the request sampled? (sarserve -trace-sample, traceparent flags)",
+			e.ID, orDash(e.TraceID))
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(e.Trace, &doc); err != nil {
+		return fmt.Errorf("run %s: decoding embedded trace: %w", e.ID, err)
+	}
+	fmt.Printf("run %s · %s · %s\n", e.ID, e.Tool, e.Start.Format("2006-01-02 15:04:05"))
+	if err := doc.WriteTree(os.Stdout); err != nil {
+		return err
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := doc.WriteTraceEvent(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *perfetto)
+	}
+	return nil
+}
+
+// resolveTraced maps a trace reference onto a ledger entry. Ledger refs
+// (@-1, run-ID prefixes) resolve as everywhere else; failing that, the
+// argument is matched as a sarserve job ID, then as a trace-ID prefix,
+// most recent entry first — so the ID from an X-Trace-Id response
+// header or a `sarlog list` line both work.
+func resolveTraced(l *telemetry.Ledger, ref string) (telemetry.Entry, error) {
+	if e, err := l.Resolve(ref); err == nil {
+		return e, nil
+	}
+	entries, err := l.List()
+	if err != nil {
+		return telemetry.Entry{}, err
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if id, ok := entries[i].Extra["job_id"].(string); ok && id == ref {
+			return entries[i], nil
+		}
+	}
+	if len(ref) >= 4 {
+		for i := len(entries) - 1; i >= 0; i-- {
+			if strings.HasPrefix(entries[i].TraceID, strings.ToLower(ref)) {
+				return entries[i], nil
+			}
+		}
+	}
+	return telemetry.Entry{}, fmt.Errorf("no run matches %q as a ledger ref, job id or trace id", ref)
+}
+
+// orDash substitutes "-" for an empty field in human output.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func cmdTrend(args []string) error {

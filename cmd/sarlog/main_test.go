@@ -181,3 +181,85 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("empty ledger list should succeed")
 	}
 }
+
+// seedTracedRun appends a sarserve.job entry carrying an embedded span
+// tree, the shape sarserve records for sampled submissions.
+func seedTracedRun(t *testing.T, dir string) (traceID, jobID string) {
+	t.Helper()
+	tr := obs.NewReqTrace(obs.NewTraceID())
+	root := tr.StartSpan("request")
+	for _, stage := range []string{"admission", "queue.wait", "execute"} {
+		root.Child(stage).End()
+	}
+	root.End()
+	raw, err := json.Marshal(tr.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID = "deadbeefcafef00d"
+	e := telemetry.Entry{
+		Tool:        "sarserve.job",
+		Start:       time.Date(2026, 8, 8, 11, 0, 0, 0, time.UTC),
+		WallSeconds: 0.1,
+		Version:     "abc123",
+		Host:        telemetry.CurrentHost(),
+		Extra:       map[string]any{"job_id": jobID},
+		TraceID:     tr.TraceID().String(),
+		Trace:       raw,
+	}
+	if _, _, err := telemetry.Open(dir).Append(e); err != nil {
+		t.Fatal(err)
+	}
+	return tr.TraceID().String(), jobID
+}
+
+// TestTrace drives the trace subcommand end to end: render by ledger
+// ref, by sarserve job ID and by trace-ID prefix, refuse untraced runs,
+// and export Perfetto JSON.
+func TestTrace(t *testing.T) {
+	dir, _ := seedLedger(t)
+	traceID, jobID := seedTracedRun(t, dir)
+
+	code, out := runSarlog(t, "trace", "-dir", dir, "@-1")
+	if code != 0 {
+		t.Fatalf("trace @-1 exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"trace " + traceID, "request", "admission", "queue.wait", "execute", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	if code, byJob := runSarlog(t, "trace", "-dir", dir, jobID); code != 0 || !strings.Contains(byJob, "trace "+traceID) {
+		t.Errorf("trace by job id: exit %d\n%s", code, byJob)
+	}
+	if code, byPrefix := runSarlog(t, "trace", "-dir", dir, traceID[:8]); code != 0 || !strings.Contains(byPrefix, "trace "+traceID) {
+		t.Errorf("trace by trace-id prefix: exit %d\n%s", code, byPrefix)
+	}
+
+	// The seeded epirun entries carry no span tree.
+	if code, out := runSarlog(t, "trace", "-dir", dir, "@-2"); code == 0 || !strings.Contains(out, "no embedded span tree") {
+		t.Errorf("untraced run: exit %d\n%s", code, out)
+	}
+	if code, out := runSarlog(t, "trace", "-dir", dir, "nosuchref"); code == 0 || !strings.Contains(out, "no run matches") {
+		t.Errorf("bad ref: exit %d\n%s", code, out)
+	}
+
+	pf := filepath.Join(t.TempDir(), "trace.json")
+	if code, out := runSarlog(t, "trace", "-dir", dir, "-perfetto", pf, jobID); code != 0 {
+		t.Fatalf("perfetto export exit %d:\n%s", code, out)
+	}
+	raw, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pdoc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &pdoc); err != nil {
+		t.Fatalf("perfetto file not JSON: %v", err)
+	}
+	if len(pdoc.TraceEvents) < 4 {
+		t.Errorf("perfetto file has %d events, want >= 4", len(pdoc.TraceEvents))
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"sarmany/internal/emu"
 	"sarmany/internal/fault"
 	"sarmany/internal/kernels"
+	"sarmany/internal/logx"
 	"sarmany/internal/obs"
 	"sarmany/internal/profile"
 	"sarmany/internal/report"
@@ -52,6 +54,10 @@ import (
 // scripts can tell a conformance violation from an ordinary usage error
 // (status 1).
 const exitConformFail = 2
+
+// lg is the tool's structured logger (see internal/logx), built from
+// -log-level/-log-format right after flag parsing.
+var lg *slog.Logger
 
 func main() {
 	log.SetFlags(0)
@@ -69,7 +75,10 @@ func main() {
 		faultF  = flag.String("faults", "", "fault plan file to inject before the run")
 		ledgerD = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg = logCfg.MustNew("sarprof")
 	start := time.Now()
 
 	cfg := report.Default()
@@ -138,7 +147,7 @@ func main() {
 			log.Println(rep.Err())
 			os.Exit(exitConformFail)
 		}
-		fmt.Fprintln(os.Stderr, "sarprof: conformance check passed")
+		lg.Info("conformance check passed")
 	}
 
 	p, err := profile.AnalyzeChip(ch)
@@ -171,9 +180,9 @@ func main() {
 				e.Extra["faults"] = *faultF
 			}
 			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
-				log.Printf("ledger: %v", lerr)
+				lg.Warn("ledger append failed", "err", lerr)
 			} else {
-				fmt.Fprintf(os.Stderr, "sarprof: run %s recorded in %s\n", id, *ledgerD)
+				lg.Info(fmt.Sprintf("run %s recorded in %s", id, *ledgerD), "run_id", id)
 			}
 		}
 	}
@@ -206,5 +215,5 @@ func writeTo(path string, write func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "sarprof: wrote %s\n", path)
+	lg.Info("wrote " + path)
 }

@@ -26,6 +26,9 @@
 //	sarserve -timeout 5m                       # per-job deadline
 //	sarserve -ledger out/runs                  # run-ledger directory
 //	sarserve -drain-timeout 1m                 # max SIGTERM drain wait
+//	sarserve -trace-sample 0.1                 # trace 10% of submissions
+//	sarserve -slow-request 2s                  # warn-log slower requests
+//	sarserve -log-format json -log-level debug # structured log output
 //
 // On SIGTERM or SIGINT the daemon stops admitting jobs (POST answers
 // 503 + Retry-After, /readyz trips), flushes and finishes in-flight
@@ -45,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"sarmany/internal/logx"
 	"sarmany/internal/serve"
 	"sarmany/internal/telemetry"
 )
@@ -61,21 +65,29 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-job execution deadline")
 	ledger := flag.String("ledger", telemetry.DefaultDir, "run-ledger directory (empty = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of submissions to trace (0 = off; inbound traceparent always wins)")
+	slowReq := flag.Duration("slow-request", 10*time.Second, "warn-log jobs slower than this (0 = never)")
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "sarserve: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+	lg := logCfg.MustNew("sarserve")
 
 	s := serve.NewServer(serve.Options{
-		Workers:    *workers,
-		CacheDir:   *cacheDir,
-		BatchSize:  *batch,
-		MaxWait:    *maxWait,
-		QueueLimit: *queue,
-		Quota:      serve.QuotaConfig{JobsPerSec: *qps, Burst: *burst},
-		JobTimeout: *timeout,
-		LedgerDir:  *ledger,
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		BatchSize:   *batch,
+		MaxWait:     *maxWait,
+		QueueLimit:  *queue,
+		Quota:       serve.QuotaConfig{JobsPerSec: *qps, Burst: *burst},
+		JobTimeout:  *timeout,
+		LedgerDir:   *ledger,
+		TraceSample: *traceSample,
+		SlowRequest: *slowReq,
+		Log:         lg,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -86,27 +98,28 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sarserve: listening on %s (%d workers, batch %d/%s, queue %d)\n",
-		*addr, *workers, *batch, *maxWait, *queue)
+	lg.Info("listening on "+*addr,
+		"workers", *workers, "batch", *batch, "maxwait", *maxWait,
+		"queue", *queue, "trace_sample", *traceSample)
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintf(os.Stderr, "sarserve: %v\n", err)
+		lg.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process the default way
 
-	fmt.Fprintln(os.Stderr, "sarserve: draining")
+	lg.Info("draining")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := s.Drain(dctx)
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "sarserve: shutdown: %v\n", err)
+		lg.Warn("shutdown", "err", err)
 	}
 	if drainErr != nil {
-		fmt.Fprintf(os.Stderr, "sarserve: drain: %v\n", drainErr)
+		lg.Error("drain failed", "err", drainErr)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "sarserve: drained cleanly")
+	lg.Info("drained cleanly")
 }

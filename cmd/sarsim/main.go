@@ -38,6 +38,7 @@ import (
 
 	"sarmany/internal/dataio"
 	"sarmany/internal/imageio"
+	"sarmany/internal/logx"
 	"sarmany/internal/mat"
 	"sarmany/internal/sar"
 	"sarmany/internal/telemetry"
@@ -66,7 +67,10 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "dataset cache directory (empty = no caching)")
 		ledgerD  = flag.String("ledger", telemetry.DefaultDir, "run-ledger directory; empty disables recording")
 	)
+	var logCfg logx.Config
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	lg := logCfg.MustNew("sarsim")
 	start := time.Now()
 
 	p := sar.DefaultParams()
@@ -185,9 +189,9 @@ func main() {
 				e.Extra["data_sha256"] = hex.EncodeToString(sum[:])
 			}
 			if id, lerr := telemetry.Record(*ledgerD, e); lerr != nil {
-				log.Printf("ledger: %v", lerr)
+				lg.Warn("ledger append failed", "err", lerr)
 			} else {
-				fmt.Fprintf(os.Stderr, "sarsim: run %s recorded in %s\n", id, *ledgerD)
+				lg.Info(fmt.Sprintf("run %s recorded in %s", id, *ledgerD), "run_id", id)
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"sarmany/internal/obs"
 	"sarmany/internal/report"
 )
 
@@ -117,9 +118,18 @@ func Keys() []string {
 // anything. The single filesystem side effect is the Fig. 7 image set,
 // written into imgDir when key is "fig7" and imgDir is non-empty. The
 // context is threaded into the experiment and checked between simulation
-// units.
-func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) (Result, error) {
-	var res Result
+// units. When the context carries a request span (a traced sarserve
+// submission), the experiment is recorded as a "bench.<key>" child
+// span, so request traces show the simulation stage by name.
+func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) (res Result, err error) {
+	if sp := obs.SpanFromContext(ctx).Child("bench." + key); sp != nil {
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
 	switch key {
 	case "t1":
 		t, err := report.RunTable1(ctx, cfg)

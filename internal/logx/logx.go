@@ -1,0 +1,170 @@
+// Package logx is the shared structured-logging setup for the sarmany
+// command-line tools. Every CLI registers the same two flags
+// (-log-level, -log-format) and routes its diagnostics through one
+// *slog.Logger, so operators get a uniform choice between the classic
+// "tool: message key=val" stderr lines and machine-readable JSON
+// records — with serve-path records stamped with trace_id/tenant/job_id
+// for correlation against the run ledger and `sarlog trace`.
+package logx
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Config holds the logging options every CLI shares. The zero value is
+// usable: info level, text format.
+type Config struct {
+	// Level is the minimum record level: "debug", "info", "warn" or
+	// "error" (empty = info).
+	Level string
+	// Format selects the handler: "text" (default; "tool: msg key=val"
+	// stderr lines) or "json" (one slog JSON record per line).
+	Format string
+}
+
+// RegisterFlags installs the shared -log-level and -log-format flags on
+// fs, bound to c.
+func (c *Config) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log level (debug, info, warn, error)")
+	fs.StringVar(&c.Format, "log-format", "text", "log record format (text, json)")
+}
+
+// ParseLevel maps a -log-level flag value to its slog level. The empty
+// string parses as info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// New builds the tool's logger writing to w according to the config.
+// Text records render as "tool: msg key=val ..." (warn and error
+// records carry a "level:" prefix after the tool name); JSON records
+// are standard slog JSON with a "tool" attribute.
+func (c Config) New(w io.Writer, tool string) (*slog.Logger, error) {
+	level, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		return slog.New(&textHandler{mu: &sync.Mutex{}, w: w, tool: tool, level: level}), nil
+	case "json":
+		h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+		return slog.New(h).With("tool", tool), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", c.Format)
+}
+
+// MustNew is New writing to stderr, with config errors reported as
+// usage errors: the message is printed and the process exits 2.
+func (c Config) MustNew(tool string) *slog.Logger {
+	lg, err := c.New(os.Stderr, tool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	return lg
+}
+
+// textHandler renders slog records in the repo's classic CLI stderr
+// shape — "tool: msg key=val ..." — so existing operator habits (and
+// the smoke scripts that grep for lines like "drained cleanly") keep
+// working when structured logging is left in its default text mode.
+type textHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	tool  string
+	level slog.Level
+	attrs string // preformatted " key=val" suffix from WithAttrs
+	group string // dotted key prefix from WithGroup
+}
+
+// Enabled implements slog.Handler.
+func (h *textHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+// Handle implements slog.Handler.
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.tool)
+	b.WriteString(": ")
+	if r.Level != slog.LevelInfo {
+		b.WriteString(strings.ToLower(r.Level.String()))
+		b.WriteString(": ")
+	}
+	b.WriteString(r.Message)
+	b.WriteString(h.attrs)
+	r.Attrs(func(a slog.Attr) bool {
+		h.appendAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler.
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	for _, a := range attrs {
+		nh.appendAttr(&b, a)
+	}
+	nh.attrs = b.String()
+	return &nh
+}
+
+// WithGroup implements slog.Handler.
+func (h *textHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.group = h.group + name + "."
+	return &nh
+}
+
+// appendAttr writes one " key=val" pair, flattening groups into dotted
+// keys and quoting values that would be ambiguous unquoted.
+func (h *textHandler) appendAttr(b *strings.Builder, a slog.Attr) {
+	a.Value = a.Value.Resolve()
+	if a.Value.Kind() == slog.KindGroup {
+		sub := *h
+		sub.group = h.group + a.Key + "."
+		for _, ga := range a.Value.Group() {
+			sub.appendAttr(b, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(h.group)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	v := a.Value.String()
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		v = strconv.Quote(v)
+	}
+	b.WriteString(v)
+}

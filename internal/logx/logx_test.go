@@ -1,0 +1,109 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"debug":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"ERROR":   slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+// TestTextFormat pins the classic CLI line shape the smoke scripts grep
+// for: "tool: msg key=val", info level unadorned, warn/error prefixed.
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := Config{}.New(&buf, "sarserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("drained cleanly")
+	lg.Info("job finished", "trace_id", "00aa", "wall_seconds", 1.5)
+	lg.Warn("slow request", "note", "two words")
+	lg.Error("drain failed", "err", "deadline exceeded")
+	lg.Debug("invisible at info level")
+
+	want := "sarserve: drained cleanly\n" +
+		"sarserve: job finished trace_id=00aa wall_seconds=1.5\n" +
+		"sarserve: warn: slow request note=\"two words\"\n" +
+		"sarserve: error: drain failed err=\"deadline exceeded\"\n"
+	if buf.String() != want {
+		t.Errorf("text output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestTextWithAttrsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := Config{Level: "debug"}.New(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.With("tenant", "acme").WithGroup("job").Debug("queued", "id", "deadbeef")
+	lg.Debug("grouped", slog.Group("req", "method", "POST"))
+	want := "t: debug: queued tenant=acme job.id=deadbeef\n" +
+		"t: debug: grouped req.method=POST\n"
+	if buf.String() != want {
+		t.Errorf("output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := Config{Format: "json", Level: "warn"}.New(&buf, "sarload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed below warn")
+	lg.Warn("unexpected status", "status", 503, "trace_id", "f00d")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["tool"] != "sarload" || rec["msg"] != "unexpected status" ||
+		rec["status"] != float64(503) || rec["trace_id"] != "f00d" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Level != "debug" || c.Format != "json" {
+		t.Errorf("config = %+v", c)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := (Config{Level: "loud"}).New(&buf, "t"); err == nil ||
+		!strings.Contains(err.Error(), "log level") {
+		t.Errorf("bad level error = %v", err)
+	}
+	if _, err := (Config{Format: "xml"}).New(&buf, "t"); err == nil ||
+		!strings.Contains(err.Error(), "log format") {
+		t.Errorf("bad format error = %v", err)
+	}
+}

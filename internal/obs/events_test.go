@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -67,6 +68,45 @@ func TestEventRingConcurrent(t *testing.T) {
 	}
 	if r.Dropped() != 8*100-64 {
 		t.Errorf("dropped = %d, want %d", r.Dropped(), 8*100-64)
+	}
+}
+
+// TestEventRingConcurrentReaders mixes writers with every read-side
+// method (Events, Len, Dropped, WriteText) so -race pins that readers
+// never observe a torn ring while the writers wrap it.
+func TestEventRingConcurrentReaders(t *testing.T) {
+	r := NewEventRing(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Addf("g%d event %d", g, i)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := r.Len(); got < 0 || got > 32 {
+					t.Errorf("len = %d outside [0, 32]", got)
+				}
+				_ = r.Dropped()
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Errorf("WriteText: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 32 {
+		t.Errorf("len = %d, want full ring 32", r.Len())
+	}
+	if r.Dropped() != 4*200-32 {
+		t.Errorf("dropped = %d, want %d", r.Dropped(), 4*200-32)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -96,6 +97,39 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 	if v := h.Quantile(1); v != 7 {
 		t.Errorf("Quantile(1) = %v, want max 7", v)
+	}
+}
+
+// TestEmptyHistogramSnapshot pins the no-samples edge every
+// p50-derived heuristic (serve's Retry-After hint) depends on: an
+// unobserved histogram must quantile to NaN, but its snapshot must
+// stay NaN-free (zero-valued P50/Min/Max) so the snapshot still
+// marshals to JSON — ledger entries embed these snapshots verbatim.
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("cold")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+	m, ok := reg.Snapshot().Get("cold")
+	if !ok {
+		t.Fatal("cold missing from snapshot")
+	}
+	if m.Count != 0 || m.P50 != 0 || m.Min != 0 || m.Max != 0 {
+		t.Errorf("empty histogram snapshot = %+v, want zero-valued", m)
+	}
+	if _, err := json.Marshal(reg.Snapshot()); err != nil {
+		t.Errorf("empty-histogram snapshot does not marshal: %v", err)
+	}
+
+	// One sample: every quantile is that sample, and the snapshot's
+	// order statistics collapse onto it.
+	h.Observe(0.25)
+	m, _ = reg.Snapshot().Get("cold")
+	if m.P50 != 0.25 || m.P99 != 0.25 || m.Min != 0.25 || m.Max != 0.25 {
+		t.Errorf("single-sample snapshot = %+v, want all 0.25", m)
 	}
 }
 

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
+	"sarmany/internal/obs"
 	"sarmany/internal/telemetry"
 )
 
@@ -68,7 +71,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
 		return
 	}
-	info, err := s.Submit(spec)
+	ctx, tid := s.traceContext(r)
+	// Every submission answers with its trace ID, sampled or not — the
+	// correlation key for logs, the ledger and `sarlog trace`. Set
+	// before any body writes so error responses carry it too.
+	w.Header().Set("X-Trace-Id", tid)
+	info, err := s.Submit(ctx, spec)
 	if err != nil {
 		writeAdmissionError(w, err)
 		return
@@ -87,6 +95,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, info)
+}
+
+// traceContext establishes the submission's trace identity. An inbound
+// W3C traceparent header wins outright: its trace ID is adopted and its
+// sampled flag decides whether a span tree is collected (the caller's
+// span becomes the remote parent, so the exported tree splices under
+// the caller's trace). Without one, a fresh ID is minted and
+// Options.TraceSample head-samples the collection decision.
+func (s *Server) traceContext(r *http.Request) (context.Context, string) {
+	ctx := r.Context()
+	if id, parent, sampled, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		if sampled {
+			tr := obs.NewReqTrace(id)
+			tr.SetRemoteParent(parent)
+			ctx = obs.ContextWithTrace(ctx, tr)
+		}
+		return ContextWithTraceID(ctx, id.String()), id.String()
+	}
+	id := obs.NewTraceID()
+	if p := s.opt.TraceSample; p > 0 && (p >= 1 || rand.Float64() < p) {
+		ctx = obs.ContextWithTrace(ctx, obs.NewReqTrace(id))
+	}
+	return ContextWithTraceID(ctx, id.String()), id.String()
 }
 
 // handleInfo is GET /v1/jobs/{id}.

@@ -26,8 +26,10 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"strconv"
 	"time"
@@ -109,6 +111,20 @@ type Options struct {
 	// Run overrides the job runner (nil = bench.Compute on the spec's
 	// experiment). Tests use this to serve synthetic workloads.
 	Run sweep.RunFunc
+	// TraceSample is the head-based sampling probability for requests
+	// arriving without a traceparent header: 1 traces every request, 0
+	// (the zero value) disables request tracing entirely. An inbound
+	// W3C traceparent header overrides the coin flip — its sampled flag
+	// decides. Every request gets a trace ID either way; sampling only
+	// controls whether a span tree is collected for it.
+	TraceSample float64
+	// SlowRequest logs a warning with per-stage timings for any request
+	// whose end-to-end latency exceeds it (0 disables the slow log).
+	SlowRequest time.Duration
+	// Log receives the server's structured records — admission
+	// rejections, dedup attaches, completions, the slow-request log —
+	// each stamped with trace_id/tenant/job_id. Nil discards them.
+	Log *slog.Logger
 }
 
 // serveMetrics bundles the server's registry instruments.
@@ -133,6 +149,7 @@ type Server struct {
 	started time.Time
 	salt    string
 	run     sweep.RunFunc
+	log     *slog.Logger
 
 	drainCh chan struct{} // closed when Drain begins
 }
@@ -153,6 +170,10 @@ func NewServer(opt Options) *Server {
 			return bench.Compute(ctx, j.Exp, j.Config, "")
 		}
 	}
+	lg := opt.Log
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opt:     opt,
@@ -164,6 +185,7 @@ func NewServer(opt Options) *Server {
 		started: time.Now(),
 		salt:    salt,
 		run:     run,
+		log:     lg,
 		drainCh: make(chan struct{}),
 		m: serveMetrics{
 			accepted:       reg.Counter("serve.jobs.accepted"),
@@ -204,9 +226,17 @@ func (s *Server) Draining() bool {
 	}
 }
 
+// coldRetryAfter is the backoff hint when the p50 projection has
+// nothing to stand on: a cold server's serve.job.seconds histogram has
+// no samples, so its median is NaN (and an all-subsecond history can
+// round to 0). Both must map to a short, sane default — never a
+// Retry-After of 0, which clients read as "hammer immediately".
+const coldRetryAfter = time.Second
+
 // retryAfterHint estimates how long a rejected client should back off:
 // the time for the current queue to clear at the observed median job
-// rate, clamped to [1s, 60s]. With no history it suggests one second.
+// rate, clamped to [coldRetryAfter, 60s]. With no latency history (or
+// an empty queue) it suggests coldRetryAfter.
 func (s *Server) retryAfterHint() time.Duration {
 	depth := s.batcher.Depth()
 	p50 := s.m.jobSeconds.Quantile(0.5)
@@ -215,10 +245,13 @@ func (s *Server) retryAfterHint() time.Duration {
 		workers = 1
 	}
 	if math.IsNaN(p50) || p50 <= 0 || depth == 0 {
-		return time.Second
+		return coldRetryAfter
 	}
 	sec := math.Ceil(float64(depth) * p50 / float64(workers))
-	return time.Duration(math.Min(math.Max(sec, 1), 60)) * time.Second
+	if d := time.Duration(math.Min(math.Max(sec, 1), 60)) * time.Second; d > coldRetryAfter {
+		return d
+	}
+	return coldRetryAfter
 }
 
 // JobID computes a spec's content-addressed identifier without
@@ -240,60 +273,140 @@ func (s *Server) JobID(spec JobSpec) (string, sweep.Job, error) {
 	return key[:16], job, nil
 }
 
+// traceIDKey carries the request's assigned trace identifier through
+// the submission context even when the request is unsampled (no
+// *obs.ReqTrace) — logs and records still want the correlation key.
+type traceIDKey struct{}
+
+// ContextWithTraceID returns a context carrying an externally assigned
+// trace identifier for the submission (the HTTP layer sets it from the
+// inbound traceparent header or a fresh random ID). Submit mints its
+// own when the context carries none.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// submitTraceID resolves the submission's trace identity from ctx: an
+// explicit ID, else the sampled trace's, else a fresh one.
+func submitTraceID(ctx context.Context, tr *obs.ReqTrace) string {
+	if id, _ := ctx.Value(traceIDKey{}).(string); id != "" {
+		return id
+	}
+	if tr != nil {
+		return tr.TraceID().String()
+	}
+	return obs.NewTraceID().String()
+}
+
 // Submit runs the admission pipeline for one spec: draining check,
 // tenant quota, content-address lookup (an existing live record attaches
 // without executing), then the bounded batcher. The returned JobInfo is
 // the record's current state; rec.done (via WaitDone) resolves when the
 // job completes.
-func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
+//
+// ctx carries the request's trace identity only (see ContextWithTraceID
+// and obs.ContextWithTrace): a sampled request records admission,
+// queue.wait, singleflight.join, execute and ledger.write stage spans
+// into its trace. Execution itself runs on the server's own context —
+// cancelling ctx does not cancel the job (shared work survives a
+// submitter's disconnect).
+func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobInfo, error) {
+	tr := obs.TraceFromContext(ctx)
+	tid := submitTraceID(ctx, tr)
+	tenant := tenantOf(spec)
+	root := tr.StartSpan("request")
+	root.SetAttr("exp", spec.Exp)
+	root.SetAttr("tenant", tenant)
+	adm := root.Child("admission")
+	reject := func(reason string, err error) (JobInfo, error) {
+		adm.SetAttr("rejected", reason)
+		adm.End()
+		root.SetAttr("outcome", "rejected")
+		root.End()
+		s.log.Info("job rejected",
+			"trace_id", tid, "tenant", tenant, "reason", reason, "err", err.Error())
+		return JobInfo{}, err
+	}
 	if s.Draining() {
 		s.m.rejDraining.Add(1)
-		return JobInfo{}, &DrainingError{}
+		return reject("draining", &DrainingError{})
 	}
 	if !knownExp(spec.Exp) {
-		return JobInfo{}, &SpecError{Msg: fmt.Sprintf("unknown experiment %q (want one of %v)", spec.Exp, bench.Keys())}
+		return reject("spec", &SpecError{Msg: fmt.Sprintf("unknown experiment %q (want one of %v)", spec.Exp, bench.Keys())})
 	}
 	id, job, err := s.JobID(spec)
 	if err != nil {
-		return JobInfo{}, err
+		return reject("spec", err)
+	}
+	adm.SetAttr("job_id", id)
+	// attach resolves a duplicate submission onto an existing record:
+	// a singleflight.join span instead of queue/execute stages, since
+	// this request does no further work of its own.
+	attach := func(info JobInfo) (JobInfo, error) {
+		s.m.dupAttach.Add(1)
+		adm.End()
+		join := root.Child("singleflight.join")
+		join.SetAttr("job_id", id)
+		if info.TraceID != "" {
+			join.SetAttr("owner_trace_id", info.TraceID)
+		}
+		join.End()
+		root.SetAttr("outcome", "deduplicated")
+		root.End()
+		s.log.Debug("job deduplicated",
+			"trace_id", tid, "tenant", tenant, "job_id", id, "owner_trace_id", info.TraceID)
+		return info, nil
 	}
 	// An existing live record single-flights the duplicate before it
 	// costs quota or a queue slot.
 	if rec, ok := s.store.get(id); ok {
 		if info := rec.snapshot(); info.Status != StatusFailed {
-			s.m.dupAttach.Add(1)
-			return info, nil
+			return attach(info)
 		}
 	}
-	if err := s.quotas.admit(tenantOf(spec), time.Now()); err != nil {
+	if err := s.quotas.admit(tenant, time.Now()); err != nil {
 		s.m.rejQuota.Add(1)
-		return JobInfo{}, err
+		return reject("quota", err)
 	}
-	rec, fresh := s.store.admit(id, spec, time.Now())
+	rec, fresh := s.store.admit(id, spec, tid, time.Now())
 	if !fresh {
-		s.m.dupAttach.Add(1)
-		return rec.snapshot(), nil
+		return attach(rec.snapshot())
 	}
+	adm.End()
 
 	timeout := s.opt.JobTimeout
 	if spec.TimeoutSeconds > 0 {
 		timeout = time.Duration(spec.TimeoutSeconds * float64(time.Second))
 	}
-	ctx := s.base
+	// Execution deliberately runs on the server's context, not the
+	// submitter's: shared (single-flighted) work must survive one
+	// client's disconnect.
+	execCtx := s.base
 	var cancel context.CancelFunc
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		execCtx, cancel = context.WithTimeout(execCtx, timeout)
 	}
-	req, err := s.batcher.Submit(ctx, id, job)
+	// The trace handles ride the record from here on: the batcher can
+	// flush this request on its own goroutine the moment Submit returns,
+	// so they must be attached before the queue is entered.
+	queue := root.Child("queue.wait")
+	rec.setTrace(traceState{trace: tr, root: root, queue: queue})
+	req, err := s.batcher.Submit(execCtx, id, job)
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
 		// Roll the record back so a retry after backoff re-admits.
 		rec.complete(nil, false, 0, err.Error(), "")
+		queue.SetAttr("rejected", "queue_full")
+		queue.End()
+		root.SetAttr("outcome", "rejected")
+		root.End()
 		if _, ok := err.(*QueueFullError); ok {
 			s.m.rejQueue.Add(1)
 		}
+		s.log.Info("job rejected",
+			"trace_id", tid, "tenant", tenant, "job_id", id, "reason", "queue_full", "err", err.Error())
 		return JobInfo{}, err
 	}
 	if cancel != nil {
@@ -303,6 +416,8 @@ func (s *Server) Submit(spec JobSpec) (JobInfo, error) {
 	}
 	s.m.accepted.Add(1)
 	s.m.queueDepth.Set(float64(s.batcher.Depth()))
+	s.log.Debug("job accepted",
+		"trace_id", tid, "tenant", tenant, "job_id", id, "exp", spec.Exp, "queue_depth", s.batcher.Depth())
 	return rec.snapshot(), nil
 }
 
@@ -347,18 +462,35 @@ func (s *Server) execBatch(batch []*Request) {
 	s.m.batchJobs.Observe(float64(len(batch)))
 	flushed := time.Now()
 	jobs := make([]sweep.Job, len(batch))
+	forms := make([]*obs.ReqSpan, len(batch))
 	for i, r := range batch {
 		jobs[i] = r.Job
 		jobs[i].Name = strconv.Itoa(i)
 		if rec, ok := s.store.get(r.ID); ok {
 			rec.setRunning()
+			forms[i] = rec.beginExec(len(batch))
 		}
+	}
+	for _, f := range forms {
+		f.End()
 	}
 	results, err := sweep.Run(s.base, jobs, sweep.Options{
 		Workers:  s.opt.Workers,
 		CacheDir: s.opt.CacheDir,
 		Metrics:  s.reg,
 		Salt:     s.salt,
+		// Batch slots map 1:1 onto sweep input indices, so the sweep's
+		// cache-lookup/execute spans nest under each request's execute
+		// stage span.
+		SpanFor: func(i int, j sweep.Job) *obs.ReqSpan {
+			if i < 0 || i >= len(batch) {
+				return nil
+			}
+			if rec, ok := s.store.get(batch[i].ID); ok {
+				return rec.traceHandles().exec
+			}
+			return nil
+		},
 		Run: func(ctx context.Context, j sweep.Job) (bench.Result, error) {
 			i, aerr := strconv.Atoi(j.Name)
 			if aerr != nil || i < 0 || i >= len(batch) {
@@ -387,13 +519,14 @@ func (s *Server) execBatch(batch []*Request) {
 	s.m.queueDepth.Set(float64(s.batcher.Depth()))
 }
 
-// finish resolves the request's store record, updates counters and
-// records the completed job in the run ledger.
+// finish resolves the request's store record, updates counters, seals
+// the request trace and records the completed job in the run ledger.
 func (s *Server) finish(r *Request, res sweep.JobResult, flushed time.Time) {
 	rec, ok := s.store.get(r.ID)
 	if !ok {
 		return
 	}
+	info := rec.snapshot()
 	dur := res.Duration
 	if dur == 0 {
 		dur = time.Since(flushed)
@@ -401,7 +534,8 @@ func (s *Server) finish(r *Request, res sweep.JobResult, flushed time.Time) {
 	s.m.jobSeconds.Observe(dur.Seconds())
 	// serve.request.seconds is the end-to-end latency a submitter saw:
 	// queueing (batch fill + max-wait) plus execution.
-	s.m.requestSeconds.Observe(time.Since(rec.snapshot().SubmittedAt).Seconds())
+	wall := time.Since(info.SubmittedAt)
+	s.m.requestSeconds.Observe(wall.Seconds())
 	errMsg := ""
 	if res.Err != nil {
 		errMsg = res.Err.Error()
@@ -412,25 +546,54 @@ func (s *Server) finish(r *Request, res sweep.JobResult, flushed time.Time) {
 			s.m.cacheHits.Add(1)
 		}
 	}
-	runID := s.recordJob(rec.snapshot().Spec, r.ID, res, errMsg)
+	ts := rec.traceHandles()
+	// On the sweep-level failure path beginExec never ran; end the
+	// queue span here so the tree stays consistent (no-op otherwise).
+	ts.queue.End()
+	ts.exec.SetAttr("cached", strconv.FormatBool(res.Cached))
+	if errMsg != "" {
+		ts.exec.SetAttr("error", errMsg)
+	}
+	ts.exec.End()
+	runID := s.recordJob(info, res, errMsg, ts)
+	level := slog.LevelDebug
+	if s.opt.SlowRequest > 0 && wall > s.opt.SlowRequest {
+		level = slog.LevelWarn
+	}
+	s.log.Log(context.Background(), level, "job finished",
+		"trace_id", info.TraceID, "tenant", tenantOf(info.Spec), "job_id", r.ID,
+		"exp", info.Spec.Exp, "cached", res.Cached, "failed", errMsg != "",
+		"wall_seconds", wall.Seconds(), "exec_seconds", dur.Seconds(),
+		"queue_seconds", (wall - dur).Seconds(), "slow", level == slog.LevelWarn)
 	rec.complete(res.Raw, res.Cached, dur, errMsg, runID)
 }
 
 // recordJob appends one completed-job entry to the run ledger
-// (best-effort: a ledger failure never fails the job it describes).
-func (s *Server) recordJob(spec JobSpec, id string, res sweep.JobResult, errMsg string) string {
+// (best-effort: a ledger failure never fails the job it describes). It
+// also owns the end of the request trace: a ledger.write span covers
+// entry assembly, then the root span ends and the sealed span tree is
+// embedded in the entry — so the tree the ledger stores includes every
+// stage, at the price of the final disk write itself falling just
+// outside its own span.
+func (s *Server) recordJob(info JobInfo, res sweep.JobResult, errMsg string, ts traceState) string {
+	spec := info.Spec
 	if s.opt.LedgerDir == "" {
+		ts.root.End()
 		return ""
 	}
+	lw := ts.root.Child("ledger.write")
 	e, err := telemetry.NewEntry("sarserve.job", time.Now(), map[string]any{
 		"exp": spec.Exp, "scale": spec.Scale, "tag": spec.Tag,
 	}, "exp="+spec.Exp, "tenant="+tenantOf(spec))
 	if err != nil {
+		lw.End()
+		ts.root.End()
 		return ""
 	}
 	e.WallSeconds = res.Duration.Seconds()
+	e.TraceID = info.TraceID
 	e.Extra = map[string]any{
-		"job_id": id,
+		"job_id": info.ID,
 		"tenant": tenantOf(spec),
 		"cached": res.Cached,
 		"failed": errMsg != "",
@@ -441,8 +604,19 @@ func (s *Server) recordJob(spec JobSpec, id string, res sweep.JobResult, errMsg 
 	if len(res.Raw) > 0 {
 		e.Envelope = res.Raw
 	}
+	lw.End()
+	ts.root.End()
+	if ts.trace != nil {
+		if doc := ts.trace.Doc(); len(doc.Spans) > 0 {
+			if b, jerr := json.Marshal(doc); jerr == nil {
+				e.Trace = b
+			}
+		}
+	}
 	runID, err := telemetry.Record(s.opt.LedgerDir, e)
 	if err != nil {
+		s.log.Warn("ledger write failed",
+			"trace_id", info.TraceID, "job_id", info.ID, "err", err.Error())
 		return ""
 	}
 	return runID

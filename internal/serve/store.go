@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"strconv"
 	"sync"
 	"time"
+
+	"sarmany/internal/obs"
 )
 
 // Status is a job's lifecycle state.
@@ -39,6 +42,22 @@ type JobInfo struct {
 	// RunID is the run-ledger entry recorded for the completed job, when
 	// ledger recording is enabled.
 	RunID string `json:"run_id,omitempty"`
+	// TraceID is the W3C trace identifier of the request that owns this
+	// record (the first submission; attached duplicates keep their own
+	// IDs in the X-Trace-Id response header). It correlates the record
+	// with structured logs and the ledger entry's embedded span tree.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// traceState bundles one admitted request's tracing handles: the
+// collector plus the open stage spans whose ends are owned by later
+// pipeline stages. All fields may be nil (unsampled request) — every
+// span operation is nil-safe.
+type traceState struct {
+	trace *obs.ReqTrace
+	root  *obs.ReqSpan // whole-request span, ended at ledger time
+	queue *obs.ReqSpan // queue.wait, ended when the batch flushes
+	exec  *obs.ReqSpan // execute stage, parent of the sweep's child spans
 }
 
 // record is one job's mutable server-side state. The completion channel
@@ -46,10 +65,45 @@ type JobInfo struct {
 // so any number of waiters (wait-mode submitters, pollers) can block on
 // the same execution.
 type record struct {
-	mu   sync.Mutex
-	info JobInfo
-	raw  []byte        // result envelope bytes (Done only)
-	done chan struct{} // closed on completion
+	mu    sync.Mutex
+	info  JobInfo
+	raw   []byte        // result envelope bytes (Done only)
+	done  chan struct{} // closed on completion
+	trace traceState    // owning request's trace handles (zero when unsampled)
+}
+
+// setTrace stores the owning request's trace handles. Called before the
+// record reaches the batcher, so the executing side always sees them.
+func (r *record) setTrace(ts traceState) {
+	r.mu.Lock()
+	r.trace = ts
+	r.mu.Unlock()
+}
+
+// traceHandles returns the record's trace handles (zero-valued, and
+// therefore all-nil-safe, for unsampled requests).
+func (r *record) traceHandles() traceState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace
+}
+
+// beginExec marks the batch-flush boundary in the record's trace: the
+// queue.wait span ends, the execute stage span opens (annotated with the
+// flushed batch size), and a batch.form child covers job-slice assembly
+// until the caller ends it. Returns the batch.form span.
+func (r *record) beginExec(batchJobs int) *obs.ReqSpan {
+	r.mu.Lock()
+	ts := r.trace
+	r.mu.Unlock()
+	ts.queue.End()
+	exec := ts.root.Child("execute")
+	exec.SetAttr("batch_jobs", strconv.Itoa(batchJobs))
+	form := exec.Child("batch.form")
+	r.mu.Lock()
+	r.trace.exec = exec
+	r.mu.Unlock()
+	return form
 }
 
 func (r *record) snapshot() JobInfo {
@@ -84,9 +138,11 @@ func (s *store) get(id string) (*record, bool) {
 }
 
 // admit returns the record for id, creating a fresh Queued one when none
-// exists or the previous attempt Failed. The second result reports
+// exists or the previous attempt Failed. traceID is the submitting
+// request's trace identifier, stamped on a fresh record only (an
+// attached duplicate keeps the owner's). The second result reports
 // whether the caller owns a new submission (and must enqueue it).
-func (s *store) admit(id string, spec JobSpec, now time.Time) (*record, bool) {
+func (s *store) admit(id string, spec JobSpec, traceID string, now time.Time) (*record, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.jobs[id]; ok {
@@ -98,7 +154,7 @@ func (s *store) admit(id string, spec JobSpec, now time.Time) (*record, bool) {
 		}
 	}
 	r := &record{
-		info: JobInfo{ID: id, Spec: spec, Status: StatusQueued, SubmittedAt: now},
+		info: JobInfo{ID: id, Spec: spec, Status: StatusQueued, SubmittedAt: now, TraceID: traceID},
 		done: make(chan struct{}),
 	}
 	s.jobs[id] = r

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -78,6 +79,13 @@ type Options struct {
 	// bench.Compute(ctx, j.Exp, j.Config, "") — every cmd/benchtab
 	// experiment key works out of the box.
 	Run RunFunc
+	// SpanFor supplies the request-trace parent span for a job (by input
+	// index), letting a caller that traces requests (internal/serve) see
+	// the sweep's cache lookup and execution as child spans of its own.
+	// The job's spans also ride the runner context (obs.SpanFromContext),
+	// so custom runners can hang deeper children off them. Nil — and nil
+	// returns — disable tracing for the sweep or the job respectively.
+	SpanFor func(index int, j Job) *obs.ReqSpan
 }
 
 // JobResult is one job's outcome, at the same index as its job.
@@ -229,7 +237,11 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				runOne(ctx, &results[i], runner, cache, salt, opt.Timeout, m)
+				var parent *obs.ReqSpan
+				if opt.SpanFor != nil {
+					parent = opt.SpanFor(i, jobs[i])
+				}
+				runOne(ctx, &results[i], runner, cache, salt, opt.Timeout, m, parent)
 			}
 		}()
 	}
@@ -271,11 +283,17 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]JobResult, error) {
 	return results, nil
 }
 
-// runOne executes (or replays) one job into its result slot.
-func runOne(ctx context.Context, res *JobResult, runner RunFunc, cache *diskCache, salt string, timeout time.Duration, m *metrics) {
+// runOne executes (or replays) one job into its result slot. parent,
+// when non-nil, is the request-trace span the job's cache-lookup and
+// execute spans nest under.
+func runOne(ctx context.Context, res *JobResult, runner RunFunc, cache *diskCache, salt string, timeout time.Duration, m *metrics, parent *obs.ReqSpan) {
 	key, keyErr := cacheKey(res.Job, salt)
 	if cache != nil && keyErr == nil {
-		if raw, env, ok := cache.load(key); ok {
+		ls := parent.Child("sweep.cache.lookup")
+		raw, env, ok := cache.load(key)
+		ls.SetAttr("hit", strconv.FormatBool(ok))
+		ls.End()
+		if ok {
 			res.Raw, res.Result, res.Cached = raw, env, true
 			if m != nil {
 				m.cached.Add(1)
@@ -298,6 +316,13 @@ func runOne(ctx context.Context, res *JobResult, runner RunFunc, cache *diskCach
 		jctx, cancel = context.WithTimeout(ctx, timeout)
 	}
 	defer cancel()
+
+	// The execute span rides the runner context so deeper layers
+	// (bench, custom runners) can nest their own children under it.
+	es := parent.Child("sweep.execute")
+	if es != nil {
+		jctx = obs.ContextWithSpan(jctx, es)
+	}
 
 	m.addRunning(1)
 	if m != nil {
@@ -344,6 +369,10 @@ func runOne(ctx context.Context, res *JobResult, runner RunFunc, cache *diskCach
 	if m != nil {
 		m.seconds.Observe(res.Duration.Seconds())
 	}
+	if out.err != nil {
+		es.SetAttr("error", out.err.Error())
+	}
+	es.End()
 
 	if out.err != nil {
 		res.Err = out.err

@@ -28,6 +28,10 @@ var DefaultAdvisory = []string{
 	"envelope.version",
 	// Tool-specific wall-clock extras.
 	"extra.*seconds*",
+	// Request traces: span IDs and wall-clock timestamps/durations by
+	// construction, never part of the result identity.
+	"trace_id",
+	"trace.*",
 }
 
 // DiffEntries compares two ledger entries leaf by leaf with

@@ -89,6 +89,16 @@ type Entry struct {
 	// Extra carries tool-specific scalars (image dimensions, checksum
 	// strings, exit notes) that deserve diffing but fit no other field.
 	Extra map[string]any `json:"extra,omitempty"`
+
+	// TraceID is the request-trace identifier of the run that produced
+	// this entry (the serving layer's per-request W3C trace ID), the
+	// correlation key between ledger entries, structured logs, and
+	// inbound traceparent headers. Empty for untraced runs.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the whole-request span tree (an obs.TraceDoc document)
+	// recorded when the run was traced — what `sarlog trace` renders.
+	// Purely wall-clock, so diffs treat every leaf under it as advisory.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // MetricsMap converts a snapshot into the ledger's named-leaf form.
