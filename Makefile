@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench servesmoke tracesmoke benchdiff baseline docscheck ledgersmoke clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench servesmoke tracesmoke benchdiff baseline docscheck ledgersmoke clean
 
 all: check
 
@@ -8,10 +8,10 @@ all: check
 # build, package-doc coverage, the race-enabled test suite, the chaos
 # (fault-injection) suite, a fuzz smoke pass over the fault-plan parser,
 # the simulator conformance suite, the emu-coverage guard, the sweep,
-# profiler and job-server throughput measurements, the benchmark
-# regression diff against the committed baselines, and the sarserve
-# end-to-end and request-tracing smoke tests.
-check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench benchdiff servesmoke tracesmoke
+# profiler, job-server and fused-kernel throughput measurements, the
+# benchmark regression diff against the committed baselines, and the
+# sarserve end-to-end and request-tracing smoke tests.
+check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench benchdiff servesmoke tracesmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -76,6 +76,16 @@ profbench:
 servebench:
 	SERVEBENCH_OUT=$(CURDIR)/out $(GO) test -race -run TestServeSaturation -count=1 ./internal/serve
 
+# kernelbench measures the fused back-projection hot paths against their
+# retained references at paper scale and records the result as
+# out/BENCH_kernels.json. It runs without the race detector on purpose:
+# the envelope's pixels/sec leaves are per-core throughput measurements
+# and -race would distort them several-fold. The fused paths' correctness
+# under -race is covered by the equivalence suites in the gbp and ffbp
+# packages, which `race` already runs.
+kernelbench:
+	KERNELBENCH_OUT=$(CURDIR)/out $(GO) test -run TestKernelThroughput -count=1 ./internal/bench
+
 # servesmoke is the sarserve end-to-end contract: build the daemon,
 # submit a real job over HTTP (must answer 200 done), assert the run
 # ledger recorded it, and SIGTERM must drain cleanly.
@@ -101,6 +111,12 @@ BENCHDIFF_ADVISORY := data.seconds*,data.speedup,data.*_per_sec,data.host_cpus,d
 # and ratios) is deterministic and gates.
 SERVEDIFF_ADVISORY := $(BENCHDIFF_ADVISORY),data.*p50_seconds,data.*p99_seconds,data.*jobs_per_sec
 
+# The kernels envelope is wall-clock throughput end to end, so every
+# seconds/speedup leaf (including the nested per-merge-stage ones) is
+# advisory; its deterministic leaves — gbp_equiv_ok, bit_identical and
+# the shape counts — gate.
+KERNELDIFF_ADVISORY := $(BENCHDIFF_ADVISORY),data.*seconds*,data.*speedup*
+
 benchdiff:
 	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
 		BENCH_sweep.json out/BENCH_sweep.json
@@ -108,14 +124,17 @@ benchdiff:
 		BENCH_profile.json out/BENCH_profile.json
 	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(SERVEDIFF_ADVISORY)' \
 		BENCH_serve.json out/BENCH_serve.json
+	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(KERNELDIFF_ADVISORY)' \
+		BENCH_kernels.json out/BENCH_kernels.json
 
 # baseline refreshes the committed envelopes from freshly recorded runs.
 # Use after an intentional change to modeled results, then commit the
 # updated BENCH_*.json files.
-baseline: sweepbench profbench servebench
+baseline: sweepbench profbench servebench kernelbench
 	cp out/BENCH_sweep.json BENCH_sweep.json
 	cp out/BENCH_profile.json BENCH_profile.json
 	cp out/BENCH_serve.json BENCH_serve.json
+	cp out/BENCH_kernels.json BENCH_kernels.json
 
 # docscheck fails when any package (cmd/ binaries included) lacks a doc
 # comment, or when the serving layer exports an undocumented identifier.

@@ -110,7 +110,7 @@ type GBPFFBPResult struct {
 // Keys lists the experiment selector keys Compute accepts, in the
 // canonical "-exp all" order.
 func Keys() []string {
-	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample", "chaos"}
+	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample", "chaos", "kernels"}
 }
 
 // Compute runs the experiment selected by key (the cmd/benchtab -exp
@@ -203,6 +203,12 @@ func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) 
 			return res, err
 		}
 		res = Result{Name: "chaos", Title: "Fault-severity degradation sweep", Data: pts}
+	case "kernels":
+		r, err := RunKernels(ctx, cfg)
+		if err != nil {
+			return res, err
+		}
+		res = Result{Name: "kernels", Title: "Fused kernel throughput", Data: r}
 	default:
 		return res, fmt.Errorf("unknown experiment %q", key)
 	}
@@ -246,6 +252,8 @@ func DecodeData(name string, raw json.RawMessage) (any, error) {
 		return decode(&[]UpsamplePoint{})
 	case "chaos":
 		return decode(&[]ChaosPoint{})
+	case "kernels":
+		return decode(&KernelsResult{})
 	}
 	return nil, fmt.Errorf("unknown envelope name %q", name)
 }
@@ -306,6 +314,10 @@ func PrintResult(w io.Writer, res Result) error {
 		printChaos(w, v)
 	case *[]ChaosPoint:
 		printChaos(w, *v)
+	case KernelsResult:
+		printKernels(w, v)
+	case *KernelsResult:
+		printKernels(w, *v)
 	default:
 		return fmt.Errorf("print %s envelope: unhandled data type %T", res.Name, res.Data)
 	}

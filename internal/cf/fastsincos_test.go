@@ -1,0 +1,121 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ulpDiff32 returns the distance in float32 ULPs between a and b, treating
+// +0 and -0 as equal. It returns a large count for NaN mismatches so the
+// caller's tolerance check fails loudly.
+func ulpDiff32(a, b float32) int {
+	if a == b {
+		return 0
+	}
+	an := math.IsNaN(float64(a))
+	bn := math.IsNaN(float64(b))
+	if an || bn {
+		if an && bn {
+			return 0
+		}
+		return math.MaxInt32
+	}
+	ia := int64(int32(math.Float32bits(a)))
+	ib := int64(int32(math.Float32bits(b)))
+	// Map the sign-magnitude float ordering onto a linear integer scale.
+	if ia < 0 {
+		ia = math.MinInt32 + 1 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt32 + 1 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(d)
+}
+
+// checkFastSincos asserts FastSincos(phi) matches float32(math.Sincos(phi))
+// within one ULP per component, with an absolute escape hatch near zero:
+// at exact multiples of pi the true value is ~1e-16, where the reduced
+// argument of the two implementations can differ in sign at a magnitude
+// far below anything the accumulating kernels can observe.
+func checkFastSincos(t *testing.T, phi float32) {
+	t.Helper()
+	gs, gc := FastSincos(phi)
+	ws64, wc64 := math.Sincos(float64(phi))
+	ws, wc := float32(ws64), float32(wc64)
+	const absTol = 1e-9
+	if ulpDiff32(gs, ws) > 1 && math.Abs(float64(gs-ws)) > absTol {
+		t.Fatalf("FastSincos(%v) sin = %v, want %v (%d ULPs)", phi, gs, ws, ulpDiff32(gs, ws))
+	}
+	if ulpDiff32(gc, wc) > 1 && math.Abs(float64(gc-wc)) > absTol {
+		t.Fatalf("FastSincos(%v) cos = %v, want %v (%d ULPs)", phi, gc, wc, ulpDiff32(gc, wc))
+	}
+}
+
+func TestFastSincosMatchesSincos(t *testing.T) {
+	// Edge cases: zeros, octant boundaries, sign symmetry, fallback range.
+	edges := []float32{
+		0, float32(math.Copysign(0, -1)),
+		float32(math.Pi / 4), float32(math.Pi / 2), float32(3 * math.Pi / 4),
+		float32(math.Pi), float32(3 * math.Pi / 2), float32(2 * math.Pi),
+		-float32(math.Pi / 4), -float32(math.Pi / 2), -float32(math.Pi),
+		1, -1, 1e3, -1e3, 1e6, -1e6, 3.9270e3, // ~k*rmax at paper scale
+		float32(fastSincosCut), -float32(fastSincosCut),
+		float32(fastSincosCut) * 2, 1e30, -1e30,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+	}
+	for _, phi := range edges {
+		checkFastSincos(t, phi)
+	}
+
+	// Dense random sweep over the phase magnitudes the backprojection
+	// kernels produce: k*r with k = 4*pi/lambda ~ 0.419 and r up to tens
+	// of kilometres, i.e. |phi| well inside 1e5.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200000; i++ {
+		phi := float32((rng.Float64()*2 - 1) * 1e5)
+		checkFastSincos(t, phi)
+	}
+	// And a thinner sweep out to the fallback cut.
+	for i := 0; i < 50000; i++ {
+		phi := float32((rng.Float64()*2 - 1) * float64(fastSincosCut))
+		checkFastSincos(t, phi)
+	}
+}
+
+func TestFastSincosDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 1000; i++ {
+		phi := float32((rng.Float64()*2 - 1) * 1e5)
+		s1, c1 := FastSincos(phi)
+		s2, c2 := FastSincos(phi)
+		if s1 != s2 || c1 != c2 {
+			t.Fatalf("FastSincos(%v) not deterministic", phi)
+		}
+	}
+}
+
+func BenchmarkFastSincos(b *testing.B) {
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		s, c := FastSincos(float32(i&1023) * 3.9)
+		acc += s + c
+	}
+	_ = acc
+}
+
+func BenchmarkMathSincos(b *testing.B) {
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		s, c := math.Sincos(float64(float32(i&1023) * 3.9))
+		acc += float32(s) + float32(c)
+	}
+	_ = acc
+}

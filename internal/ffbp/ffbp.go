@@ -57,6 +57,15 @@ func (s *Stage) NumSubapertures() int { return len(s.Images) }
 // data: one single-beam image per pulse, with the two-way carrier phase
 // removed (multiplication by exp(+i*4*pi*r/lambda)) so that subsequent
 // merges combine coherently.
+//
+// Precision contract: the phase argument k*r is evaluated in float64 and
+// rounded to float32 once, at the cf.Expi call. At paper-scale ranges
+// (k*r up to ~4e3 rad) that single rounding costs at most half a float32
+// ULP of the argument, ~2.5e-4 rad — two orders of magnitude below the
+// merge interpolation error — and the downstream float32 pixels carry no
+// further phase arithmetic. TestInitialStagePhaseContract pins this
+// against the closed form; the simulator kernels (kernels.stage0Pixel)
+// replicate the same evaluation bit for bit.
 func InitialStage(data *mat.C, p sar.Params, box geom.SceneBox) (*Stage, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -87,8 +96,15 @@ func InitialStage(data *mat.C, p sar.Params, box geom.SceneBox) (*Stage, error) 
 }
 
 // Merge performs one merge-base-2 iteration, combining subaperture pairs
-// (2j, 2j+1) into parents with doubled angular resolution.
+// (2j, 2j+1) into parents with doubled angular resolution. It runs the
+// fused beam kernel (mergeBeam); MergeRef runs the retained reference.
 func Merge(s *Stage, box geom.SceneBox, cfg Config) (*Stage, error) {
+	return merge(s, box, cfg, mergeBeam)
+}
+
+// merge is the shared merge-iteration driver: grid/image setup and the
+// flattened (parent, beam) fan-out, parameterized by the beam kernel.
+func merge(s *Stage, box geom.SceneBox, cfg Config, beam func(s, out *Stage, j, bt int, kind interp.Kind, comp autofocus.Shift)) (*Stage, error) {
 	if len(s.Images)%2 != 0 {
 		return nil, fmt.Errorf("ffbp: cannot merge %d subapertures", len(s.Images))
 	}
@@ -128,7 +144,7 @@ func Merge(s *Stage, box geom.SceneBox, cfg Config) (*Stage, error) {
 				if cfg.comps != nil {
 					comp = cfg.comps[j]
 				}
-				mergeBeam(s, out, j, bt, cfg.Interp, comp)
+				beam(s, out, j, bt, cfg.Interp, comp)
 			}
 		}(sl)
 	}
@@ -140,7 +156,78 @@ func Merge(s *Stage, box geom.SceneBox, cfg Config) (*Stage, error) {
 // eq. 5 along one output beam. comp displaces the plus child's sampling
 // positions (in pixels) — the flight-path compensation of the autofocused
 // merge; the zero Shift reproduces the plain merge.
+//
+// This is the fused hot path, bit-identical to mergeBeamRef (pinned by
+// TestFusedMergeBitIdentical): the per-beam cos/sin of the parent angle is
+// hoisted out of geom.ChildCoords — theta is constant along the beam, so
+// the two calls per pixel collapse to two multiplies — and the paper's
+// nearest-neighbour sampling of both children is inlined, eliminating the
+// two interp.At2 calls per pixel. Every retained operation (hypot, atan2,
+// the index divisions, the rounding) is exactly the reference's, which is
+// what keeps the simulator kernels (internal/kernels) bit-identical to
+// ffbp.Image.
 func mergeBeam(s, out *Stage, j, bt int, kind interp.Kind, comp autofocus.Shift) {
+	pg := out.Grids[j]
+	img0, img1 := s.Images[2*j], s.Images[2*j+1]
+	g0, g1 := s.Grids[2*j], s.Grids[2*j+1]
+	l := s.Apertures[2*j].Length // child subaperture length
+	theta := pg.Theta(bt)
+	row := out.Images[j].Row(bt)
+
+	// Hoisted from geom.ChildCoords: x = r*cos(theta), y = r*sin(theta)
+	// with theta fixed along the beam, origin shifted ∓l/2 along track.
+	ct, st := math.Cos(theta), math.Sin(theta)
+	h := l / 2
+
+	if kind == interp.Nearest {
+		rows0, cols0 := img0.Rows, img0.Cols
+		rows1, cols1 := img1.Rows, img1.Cols
+		for bi := 0; bi < pg.NR; bi++ {
+			r := pg.Range(bi)
+			x := r * ct
+			y := r * st
+			xp, xm := x+h, x-h
+			r1 := math.Hypot(xp, y)
+			th1 := math.Atan2(y, xp)
+			r2 := math.Hypot(xm, y)
+			th2 := math.Atan2(y, xm)
+			// Inlined interp.At2 Nearest on each child: round both
+			// fractional indices, in-range sample or zero.
+			var v1 complex64
+			rr := int(math.Round((th1 - g0.Theta0) / g0.DTheta))
+			cc := int(math.Round((r1 - g0.R0) / g0.DR))
+			if uint(rr) < uint(rows0) && uint(cc) < uint(cols0) {
+				v1 = img0.At(rr, cc)
+			}
+			var v2 complex64
+			rr = int(math.Round((th2-g1.Theta0)/g1.DTheta + comp.DBeam))
+			cc = int(math.Round((r2-g1.R0)/g1.DR + comp.DRange))
+			if uint(rr) < uint(rows1) && uint(cc) < uint(cols1) {
+				v2 = img1.At(rr, cc)
+			}
+			row[bi] = v1 + v2
+		}
+		return
+	}
+	for bi := 0; bi < pg.NR; bi++ {
+		r := pg.Range(bi)
+		x := r * ct
+		y := r * st
+		xp, xm := x+h, x-h
+		r1 := math.Hypot(xp, y)
+		th1 := math.Atan2(y, xp)
+		r2 := math.Hypot(xm, y)
+		th2 := math.Atan2(y, xm)
+		v1 := interp.At2(img0, g0.ThetaIndex(th1), g0.RangeIndex(r1), kind)
+		v2 := interp.At2(img1, g1.ThetaIndex(th2)+comp.DBeam, g1.RangeIndex(r2)+comp.DRange, kind)
+		row[bi] = v1 + v2
+	}
+}
+
+// mergeBeamRef is the retained unfused reference for mergeBeam: per-pixel
+// geom.ChildCoords and interp.At2 calls, the literal transcription of
+// paper eq. 5. The fused path is pinned bit-identical to it.
+func mergeBeamRef(s, out *Stage, j, bt int, kind interp.Kind, comp autofocus.Shift) {
 	pg := out.Grids[j]
 	img0, img1 := s.Images[2*j], s.Images[2*j+1]
 	g0, g1 := s.Grids[2*j], s.Grids[2*j+1]
@@ -156,12 +243,31 @@ func mergeBeam(s, out *Stage, j, bt int, kind interp.Kind, comp autofocus.Shift)
 	}
 }
 
+// MergeRef is Merge running the retained unfused reference beam kernel
+// (mergeBeamRef); the equivalence suite pins Merge bit-identical to it.
+func MergeRef(s *Stage, box geom.SceneBox, cfg Config) (*Stage, error) {
+	return merge(s, box, cfg, mergeBeamRef)
+}
+
 // Image runs the complete factorization: InitialStage followed by
 // log2(NumPulses) merges. It returns the final full-aperture image (rows =
 // beams, cols = range bins) and its polar grid, which is expressed relative
 // to the aperture centre (track position 0) — directly comparable to
 // gbp.Image on the same grid.
 func Image(data *mat.C, p sar.Params, box geom.SceneBox, cfg Config) (*mat.C, geom.PolarGrid, error) {
+	return image(data, p, box, cfg, Merge)
+}
+
+// ImageRef is Image running every merge through the retained reference
+// beam kernel (MergeRef). Image is pinned bit-identical to it; ImageRef
+// exists as the before side of the kernels benchmark and the oracle of
+// the equivalence suite.
+func ImageRef(data *mat.C, p sar.Params, box geom.SceneBox, cfg Config) (*mat.C, geom.PolarGrid, error) {
+	return image(data, p, box, cfg, MergeRef)
+}
+
+func image(data *mat.C, p sar.Params, box geom.SceneBox, cfg Config,
+	mergeFn func(*Stage, geom.SceneBox, Config) (*Stage, error)) (*mat.C, geom.PolarGrid, error) {
 	if p.NumPulses&(p.NumPulses-1) != 0 {
 		return nil, geom.PolarGrid{}, fmt.Errorf("ffbp: NumPulses %d is not a power of two (merge base 2)", p.NumPulses)
 	}
@@ -170,7 +276,7 @@ func Image(data *mat.C, p sar.Params, box geom.SceneBox, cfg Config) (*mat.C, ge
 		return nil, geom.PolarGrid{}, err
 	}
 	for len(s.Images) > 1 {
-		s, err = Merge(s, box, cfg)
+		s, err = mergeFn(s, box, cfg)
 		if err != nil {
 			return nil, geom.PolarGrid{}, err
 		}

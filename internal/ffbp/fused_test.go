@@ -1,0 +1,187 @@
+package ffbp
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/cf"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/sar"
+)
+
+var mergeKinds = []interp.Kind{interp.Nearest, interp.Linear, interp.Cubic, interp.Sinc8}
+
+// smallParams is a light geometry for the stage-by-stage bit-identity
+// checks: 64 pulses, 101 bins.
+func smallParams() (sar.Params, geom.SceneBox) {
+	p := sar.DefaultParams()
+	p.NumPulses = 64
+	p.NumBins = 101
+	p.R0 = 500
+	box := geom.SceneBox{UMin: -20, UMax: 20, YMin: 505, YMax: 545, ThetaPad: 0.05}
+	return p, box
+}
+
+// TestFusedMergeBitIdentical pins the fused merge path (hoisted per-beam
+// cos/sin, inlined nearest sampling) bit-identical to the retained
+// reference, for every interpolation kernel, across the complete
+// factorization. This is the invariant that keeps the simulator kernels
+// (internal/kernels) bit-identical to ffbp.Image.
+func TestFusedMergeBitIdentical(t *testing.T) {
+	p, box := smallParams()
+	data := sar.Simulate(p, []sar.Target{{U: 3, Y: 520, Amp: 1}, {U: -6, Y: 535, Amp: 0.7}}, nil)
+	for _, kind := range mergeKinds {
+		cfg := Config{Interp: kind, Workers: 4}
+		fused, fg, err := Image(data, p, box, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, rg, err := ImageRef(data, p, box, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fg != rg {
+			t.Fatalf("%v: fused grid %+v differs from reference %+v", kind, fg, rg)
+		}
+		if !fused.Equal(ref) {
+			t.Errorf("%v: fused image not bit-identical to reference (max diff %v)",
+				kind, fused.MaxAbsDiff(ref))
+		}
+	}
+}
+
+// TestFusedMergeStagewise runs every individual merge iteration through
+// both beam kernels and requires bit-identity at each stage, including
+// with nonzero flight-path compensations (the autofocused merge path).
+func TestFusedMergeStagewise(t *testing.T) {
+	p, box := smallParams()
+	data := sar.Simulate(p, []sar.Target{{U: -2, Y: 525, Amp: 1}}, nil)
+	for _, kind := range mergeKinds {
+		s, err := InitialStage(data, p, box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Interp: kind, Workers: 3}
+		stage := 0
+		for len(s.Images) > 1 {
+			// Exercise the compensated path on every other stage.
+			if stage%2 == 1 {
+				comps := make([]autofocus.Shift, len(s.Images)/2)
+				for j := range comps {
+					comps[j] = autofocus.Shift{
+						DRange: 0.3 - 0.05*float64(j%5),
+						DBeam:  -0.2 + 0.04*float64(j%4),
+					}
+				}
+				cfg.comps = comps
+			} else {
+				cfg.comps = nil
+			}
+			fused, err := Merge(s, box, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := MergeRef(s, box, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range fused.Images {
+				if !fused.Images[j].Equal(ref.Images[j]) {
+					t.Fatalf("%v stage %d parent %d: fused not bit-identical (max diff %v)",
+						kind, stage, j, fused.Images[j].MaxAbsDiff(ref.Images[j]))
+				}
+			}
+			s = fused
+			stage++
+		}
+	}
+}
+
+// TestFusedMergeWorkerInvariant pins determinism of the fused path across
+// worker counts, including more workers than beams at the earliest stage.
+func TestFusedMergeWorkerInvariant(t *testing.T) {
+	p, box := smallParams()
+	p.NumPulses = 8
+	p.NumBins = 51
+	data := sar.Simulate(p, []sar.Target{{U: 1, Y: 515, Amp: 1}}, nil)
+	one, _, err := Image(data, p, box, Config{Interp: interp.Nearest, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, _, err := Image(data, p, box, Config{Interp: interp.Nearest, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Equal(many) {
+		t.Errorf("fused image differs across worker counts (max diff %v)", one.MaxAbsDiff(many))
+	}
+}
+
+// TestInitialStagePhaseContract pins the stage-0 precision contract at
+// paper-scale ranges: the two-way carrier phase k*r is computed in
+// float64 and rounded to float32 exactly once, so the applied rotation
+// differs from the closed form by at most half a float32 ULP of the
+// phase argument — 2.5e-4 rad at the paper's far edge (k*r ~ 3.9e3).
+func TestInitialStagePhaseContract(t *testing.T) {
+	p := sar.DefaultParams() // paper-scale ranges: R0=2000, 1001 bins, DR=0.5
+	p.NumPulses = 4          // a light pulse count; the contract is per column
+	data := sar.Simulate(p, nil, nil)
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for c := range row {
+			row[c] = 1 // unit samples: stage 0 output is exactly the rotation
+		}
+	}
+	box := geom.SceneBox{UMin: -2, UMax: 2, YMin: 2100, YMax: 2400, ThetaPad: 0.05}
+	s, err := InitialStage(data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4 * math.Pi / p.Wavelength
+	const maxPhaseErr = 2.5e-4 // half a float32 ULP at k*r ~ 3.9e3 rad
+	for c := 0; c < p.NumBins; c++ {
+		r := p.R0 + float64(c)*p.DR
+		phi := k * r
+		// The float64->float32 phase rounding is the only precision loss.
+		if e := math.Abs(float64(float32(phi)) - phi); e > maxPhaseErr {
+			t.Fatalf("bin %d: phase rounding error %v rad exceeds contract %v", c, e, maxPhaseErr)
+		}
+		// The applied rotation is exactly cf.Expi of the rounded phase...
+		got := s.Images[0].Row(0)[c]
+		if want := cf.Expi(float32(phi)); got != want {
+			t.Fatalf("bin %d: stage-0 rotation %v, want %v bit-identical", c, got, want)
+		}
+		// ...and within the contract of the float64 closed form.
+		ws, wc := math.Sincos(phi)
+		if err := math.Hypot(float64(real(got))-wc, float64(imag(got))-ws); err > 2*maxPhaseErr {
+			t.Fatalf("bin %d: stage-0 phase drifts %v from closed form (contract %v)",
+				c, err, 2*maxPhaseErr)
+		}
+	}
+}
+
+func BenchmarkFFBPFused64(b *testing.B) {
+	p, box := smallParams()
+	data := sar.Simulate(p, []sar.Target{{U: 3, Y: 520, Amp: 1}}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Image(data, p, box, Config{Interp: interp.Nearest, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFBPRef64(b *testing.B) {
+	p, box := smallParams()
+	data := sar.Simulate(p, []sar.Target{{U: 3, Y: 520, Amp: 1}}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ImageRef(data, p, box, Config{Interp: interp.Nearest, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package gbp
+
+import (
+	"math"
+	"testing"
+
+	"sarmany/internal/cf"
+	"sarmany/internal/geom"
+	"sarmany/internal/interp"
+	"sarmany/internal/mat"
+	"sarmany/internal/quality"
+	"sarmany/internal/sar"
+)
+
+var equivKinds = []interp.Kind{interp.Nearest, interp.Linear, interp.Cubic, interp.Sinc8}
+
+// maxUlpAtPeak is the pinned equivalence bound between the fused Image
+// and ImageRef: the largest per-pixel |difference| allowed, measured in
+// float32 ULPs at the image peak magnitude. The fused rotation is within
+// 1 ULP per accumulated sample and the sqrt range history within 1 ULP of
+// math.Hypot, so the pulse-summed drift stays well inside this.
+const maxUlpAtPeak = 16
+
+func ulp32At(x float32) float64 {
+	return float64(x) * math.Pow(2, -23)
+}
+
+func assertEquivalent(t *testing.T, fused, ref *mat.C, kind interp.Kind) {
+	t.Helper()
+	_, _, peak := quality.Peak(quality.Mag(ref))
+	diff := fused.MaxAbsDiff(ref)
+	tol := maxUlpAtPeak * ulp32At(peak)
+	if peak == 0 {
+		t.Fatalf("%v: degenerate zero reference image", kind)
+	}
+	if float64(diff) > tol {
+		t.Errorf("%v: fused image differs from reference by %v, tolerance %v (%d ULPs at peak %v)",
+			kind, diff, tol, maxUlpAtPeak, peak)
+	}
+}
+
+// TestFusedMatchesRefImage pins the fused fast path against the retained
+// reference for every interpolation kernel on the standard test scene,
+// and that the fused path is deterministic across reruns.
+func TestFusedMatchesRefImage(t *testing.T) {
+	p, _, grid := testSetup()
+	data := sar.Simulate(p, sar.SixTargetScene(p), nil)
+	for _, kind := range equivKinds {
+		cfg := Config{Interp: kind, Workers: 4}
+		fused := Image(data, p, grid, cfg)
+		ref := ImageRef(data, p, grid, cfg)
+		assertEquivalent(t, fused, ref, kind)
+		again := Image(data, p, grid, Config{Interp: kind, Workers: 3})
+		if !fused.Equal(again) {
+			t.Errorf("%v: fused image not deterministic across reruns/worker counts (max diff %v)",
+				kind, fused.MaxAbsDiff(again))
+		}
+	}
+}
+
+// TestFusedOddShapes runs the equivalence check on the degenerate grid and
+// data shapes where the flattened tiling differs most from the beam-sliced
+// reference fan-out: fewer beams than workers, a single range bin, a
+// single beam, and a single pulse.
+func TestFusedOddShapes(t *testing.T) {
+	base := sar.DefaultParams()
+	base.NumPulses = 16
+	base.NumBins = 41
+	base.R0 = 500
+	box := geom.SceneBox{UMin: -25, UMax: 25, YMin: 500.5, YMax: 519.5, ThetaPad: 0.05}
+
+	cases := []struct {
+		name    string
+		pulses  int
+		nth, nr int
+		workers int
+	}{
+		{"beams_fewer_than_workers", 16, 3, 41, 8},
+		{"single_range_bin", 16, 16, 1, 5},
+		{"single_beam", 16, 1, 41, 6},
+		{"single_pulse", 1, 8, 41, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			p.NumPulses = tc.pulses
+			full := geom.Aperture{Center: 0, Length: p.ApertureLength()}
+			grid := box.GridFor(full, tc.nth, tc.nr, p.R0, p.DR)
+			// Target at range ~501 m: inside the simulated echo envelope
+			// (half-width 6 m) of every pixel range of even the single-bin
+			// grid at R0 = 500 m, so no case degenerates to a zero image.
+			data := sar.Simulate(p, []sar.Target{{U: 2, Y: 501, Amp: 1}}, nil)
+			for _, kind := range equivKinds {
+				cfg := Config{Interp: kind, Workers: tc.workers}
+				fused := Image(data, p, grid, cfg)
+				ref := ImageRef(data, p, grid, cfg)
+				assertEquivalent(t, fused, ref, kind)
+			}
+		})
+	}
+}
+
+// TestZeroSkipPolicyBitIdentical pins the zero-sample skip policy of the
+// reference inner loop: skipping samples that interpolate to exact zero
+// is bit-identical to accumulating their rotated product, because the
+// rotation of an exact zero is ±0 per component and adding ±0 to an
+// accumulator that is never -0 changes nothing. This is what lets the
+// fused path (literal 0 from At1Fused) agree with the reference
+// sample-for-sample.
+func TestZeroSkipPolicyBitIdentical(t *testing.T) {
+	p, _, grid := testSetup()
+	data := sar.Simulate(p, []sar.Target{{U: 4, Y: 540, Amp: 1}}, nil)
+	for _, kind := range equivKinds {
+		ref := ImageRef(data, p, grid, Config{Interp: kind, Workers: 2})
+		noskip := refImageNoSkip(data, p, grid, kind)
+		if !ref.Equal(noskip) {
+			t.Errorf("%v: zero-skip not bit-identical to accumulate (max diff %v)",
+				kind, ref.MaxAbsDiff(noskip))
+		}
+	}
+}
+
+// refImageNoSkip is backproject without the zero-sample short circuit,
+// the test oracle for the skip policy.
+func refImageNoSkip(data *mat.C, p sar.Params, grid geom.PolarGrid, kind interp.Kind) *mat.C {
+	img := mat.NewC(grid.NTheta, grid.NR)
+	k := 4 * math.Pi / p.Wavelength
+	us := make([]float64, p.NumPulses)
+	for i := range us {
+		us[i] = p.TrackPos(i)
+	}
+	for bt := 0; bt < grid.NTheta; bt++ {
+		theta := grid.Theta(bt)
+		ct, st := math.Cos(theta), math.Sin(theta)
+		row := img.Row(bt)
+		for bi := 0; bi < grid.NR; bi++ {
+			r := grid.Range(bi)
+			x := r * ct
+			y := r * st
+			var acc complex64
+			for pi, u := range us {
+				rp := math.Hypot(x-u, y)
+				v := interp.At1(data.Row(pi), grid.RangeIndex(rp), kind)
+				acc += v * cf.Expi(float32(k*rp))
+			}
+			row[bi] = acc
+		}
+	}
+	return img
+}
+
+func BenchmarkGBPRef128(b *testing.B) {
+	p, _, grid := testSetup()
+	data := sar.Simulate(p, sar.SixTargetScene(p), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ImageRef(data, p, grid, Config{Interp: interp.Nearest})
+	}
+}

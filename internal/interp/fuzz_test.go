@@ -26,11 +26,11 @@ func FuzzAt1(f *testing.F) {
 		for i := range v {
 			v[i] = complex(float32(i), -float32(i))
 		}
-		for _, k := range []Kind{Nearest, Linear, Cubic} {
+		for _, k := range []Kind{Nearest, Linear, Cubic, Sinc8} {
 			got := At1(v, x, k)
-			if x < -4 || x > float64(n)+4 {
+			if x < -float64(k.Taps()) || x > float64(n-1+k.Taps()) {
 				if got != 0 {
-					t.Fatalf("%v at %v (n=%d) = %v, want 0 far outside", k, x, n, got)
+					t.Fatalf("%v at %v (n=%d) = %v, want 0 outside support", k, x, n, got)
 				}
 			}
 			re, im := float64(real(got)), float64(imag(got))

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"sarmany/internal/cf"
 	"sarmany/internal/mat"
 )
 
@@ -71,12 +72,15 @@ func (k Kind) Taps() int {
 
 // At1 interpolates the sample sequence v at fractional index x using kernel
 // k. Positions outside [0, len(v)-1] use zero for the missing samples;
-// positions more than one tap outside the sequence return 0.
+// positions more than one tap support outside the sequence return 0.
 func At1(v []complex64, x float64, k Kind) complex64 {
 	// Far outside the support every tap is zero; return early so absurd
 	// positions (including ones whose float->int conversion would
-	// overflow) yield an exact 0 instead of NaN arithmetic.
-	if x < -float64(k.Taps()) || x > float64(len(v)+k.Taps()) {
+	// overflow) yield an exact 0 instead of NaN arithmetic. The last valid
+	// sample index is len(v)-1, so the upper bound is len(v)-1+Taps — the
+	// symmetric mirror of the lower bound, not len(v)+Taps (which silently
+	// admitted positions a full bin past the end of the support).
+	if x < -float64(k.Taps()) || x > float64(len(v)-1+k.Taps()) {
 		return 0
 	}
 	switch k {
@@ -176,6 +180,12 @@ func nev(pa, pb complex64, u, w float32) complex64 {
 // first along each contributing row (columns), then across rows. Out-of-
 // range taps contribute zero.
 func At2(img *mat.C, ri, ci float64, k Kind) complex64 {
+	// Same early out-of-support guard as At1, on both axes: beyond
+	// ±Taps of the valid index range [0, n-1] every tap is zero.
+	t := float64(k.Taps())
+	if ri < -t || ri > float64(img.Rows-1)+t || ci < -t || ci > float64(img.Cols-1)+t {
+		return 0
+	}
 	switch k {
 	case Nearest:
 		r := int(math.Round(ri))
@@ -200,6 +210,30 @@ func At2(img *mat.C, ri, ci float64, k Kind) complex64 {
 	default:
 		panic("interp: unknown kind")
 	}
+}
+
+// At1Fused interpolates v at fractional index x with kernel k and returns
+// the sample already rotated by exp(i*phi) — the fused interpolate+rotate
+// primitive of the back-projection hot path. Fusing the two steps removes
+// the intermediate complex64 round trip through the caller and replaces
+// the per-sample math.Sincos with cf.FastSincos (float32-targeted, within
+// 1 ULP of the reference per component). Out-of-support positions and
+// exact-zero samples return literal 0 without evaluating the rotation,
+// which is bit-identical to accumulating the product: the rotation of an
+// exact zero is +0 on both components, and adding ±0 to a float32
+// accumulator never changes it (the accumulator can never become -0 by
+// summation), so `acc += At1Fused(...)` with the skip equals the unskipped
+// form sample-for-sample.
+func At1Fused(v []complex64, x float64, k Kind, phi float32) complex64 {
+	s := At1(v, x, k)
+	if s == 0 {
+		return 0
+	}
+	sn, cs := cf.FastSincos(phi)
+	return complex(
+		real(s)*cs-imag(s)*sn,
+		real(s)*sn+imag(s)*cs,
+	)
 }
 
 // Path describes a straight sampling path through a matrix in fractional

@@ -18,8 +18,9 @@ import (
 // factorized algorithm ("the FFBP algorithm is much faster than the GBP
 // algorithm"); comparing the two kernels' modeled times quantifies it.
 //
-// The image matches gbp.Image with nearest-neighbour interpolation and a
-// single worker, bit for bit.
+// The image matches gbp.ImageRef (the retained unfused host reference)
+// with nearest-neighbour interpolation and a single worker, bit for bit;
+// the fused gbp.Image matches within its pinned ULP bound.
 func SeqGBP(m machine.Machine, mem machine.Alloc, data *mat.C, p sar.Params, grid geom.PolarGrid) (*mat.C, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err

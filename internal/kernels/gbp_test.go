@@ -22,7 +22,7 @@ func TestSeqGBPMatchesHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := gbp.Image(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
+	want := gbp.ImageRef(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
 	if !img.Equal(want) {
 		t.Errorf("kernel GBP differs from host (max diff %v)", img.MaxAbsDiff(want))
 	}
@@ -65,7 +65,7 @@ func TestSeqGBPOnEpiphanyCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := gbp.Image(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
+	want := gbp.ImageRef(data, p, grid, gbp.Config{Interp: interp.Nearest, Workers: 1})
 	if !img.Equal(want) {
 		t.Error("Epiphany GBP image differs from host")
 	}
