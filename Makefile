@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench servesmoke tracesmoke benchdiff baseline docscheck ledgersmoke clean
+.PHONY: all check fmt vet build test race bench chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench scalebench servesmoke tracesmoke benchdiff baseline docscheck ledgersmoke clean
 
 all: check
 
@@ -11,7 +11,7 @@ all: check
 # profiler, job-server and fused-kernel throughput measurements, the
 # benchmark regression diff against the committed baselines, and the
 # sarserve end-to-end and request-tracing smoke tests.
-check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench benchdiff servesmoke tracesmoke
+check: fmt vet build docscheck race chaos fuzzsmoke conform conformguard sweepbench profbench servebench kernelbench scalebench benchdiff servesmoke tracesmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -86,6 +86,16 @@ servebench:
 kernelbench:
 	KERNELBENCH_OUT=$(CURDIR)/out $(GO) test -run TestKernelThroughput -count=1 ./internal/bench
 
+# scalebench runs both parallel kernels across the 64-, 256- and
+# 1024-core device generations (the last a 2x2 eLink-bridged chip array)
+# and records modeled time, speedup and energy as out/BENCH_scale.json.
+# Every leaf is deterministic simulator output, so the whole envelope
+# gates in benchdiff. It runs without the race detector: the sweep is
+# pure simulation whose -race coverage lives in the kernels and conform
+# suites, and -race would multiply the 1024-core run's wall-clock.
+scalebench:
+	SCALEBENCH_OUT=$(CURDIR)/out $(GO) test -run TestScaleBench -count=1 ./internal/bench
+
 # servesmoke is the sarserve end-to-end contract: build the daemon,
 # submit a real job over HTTP (must answer 200 done), assert the run
 # ledger recorded it, and SIGTERM must drain cleanly.
@@ -126,15 +136,18 @@ benchdiff:
 		BENCH_serve.json out/BENCH_serve.json
 	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(KERNELDIFF_ADVISORY)' \
 		BENCH_kernels.json out/BENCH_kernels.json
+	$(GO) run ./scripts/benchdiff.go -tol 0.02 -advisory '$(BENCHDIFF_ADVISORY)' \
+		BENCH_scale.json out/BENCH_scale.json
 
 # baseline refreshes the committed envelopes from freshly recorded runs.
 # Use after an intentional change to modeled results, then commit the
 # updated BENCH_*.json files.
-baseline: sweepbench profbench servebench kernelbench
+baseline: sweepbench profbench servebench kernelbench scalebench
 	cp out/BENCH_sweep.json BENCH_sweep.json
 	cp out/BENCH_profile.json BENCH_profile.json
 	cp out/BENCH_serve.json BENCH_serve.json
 	cp out/BENCH_kernels.json BENCH_kernels.json
+	cp out/BENCH_scale.json BENCH_scale.json
 
 # docscheck fails when any package (cmd/ binaries included) lacks a doc
 # comment, or when the serving layer exports an undocumented identifier.

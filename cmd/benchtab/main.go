@@ -18,6 +18,7 @@
 //	benchtab -exp bw                 # autofocus throughput vs off-chip bandwidth
 //	benchtab -exp interp             # FFBP quality vs interpolation kernel
 //	benchtab -exp kernels            # fused vs reference hot-path throughput
+//	benchtab -exp scale              # FFBP + autofocus across 64/256/1024-core devices
 //	benchtab -exp all                # everything
 //	benchtab -exp all -j 8           # everything, eight experiments at a time
 //	benchtab -exp all -cache-dir .benchcache   # skip unchanged experiments
@@ -58,10 +59,11 @@ var experiments = []struct{ key, title string }{
 	{"upsample", "Range oversampling"},
 	{"chaos", "Fault-severity degradation"},
 	{"kernels", "Fused kernel throughput"},
+	{"scale", "Manycore scale-up sweep"},
 }
 
 func main() {
-	exp := flag.String("exp", "t1", "experiment: t1, fig7, scaling, bw, interp, pipes, gbp, base, rda, upsample, chaos, kernels, all")
+	exp := flag.String("exp", "t1", "experiment: t1, fig7, scaling, bw, interp, pipes, gbp, base, rda, upsample, chaos, kernels, scale, all")
 	small := flag.Bool("small", false, "run at reduced scale")
 	out := flag.String("out", "out", "output directory for images")
 	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<name>.json results")

@@ -110,7 +110,7 @@ type GBPFFBPResult struct {
 // Keys lists the experiment selector keys Compute accepts, in the
 // canonical "-exp all" order.
 func Keys() []string {
-	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample", "chaos", "kernels"}
+	return []string{"t1", "fig7", "scaling", "bw", "interp", "pipes", "gbp", "base", "rda", "upsample", "chaos", "kernels", "scale"}
 }
 
 // Compute runs the experiment selected by key (the cmd/benchtab -exp
@@ -209,11 +209,24 @@ func Compute(ctx context.Context, key string, cfg report.Config, imgDir string) 
 			return res, err
 		}
 		res = Result{Name: "kernels", Title: "Fused kernel throughput", Data: r}
+	case "scale":
+		pts, err := RunScale(ctx, cfg)
+		if err != nil {
+			return res, err
+		}
+		// The scale sweep pins its own workload scale (see scale.go);
+		// record that, not the config's.
+		res = Result{Name: "scale", Title: "Manycore scale-up sweep",
+			Pulses: scalePulses, Bins: scaleBins, Data: pts}
 	default:
 		return res, fmt.Errorf("unknown experiment %q", key)
 	}
-	res.Pulses = cfg.Params.NumPulses
-	res.Bins = cfg.Params.NumBins
+	if res.Pulses == 0 {
+		res.Pulses = cfg.Params.NumPulses
+	}
+	if res.Bins == 0 {
+		res.Bins = cfg.Params.NumBins
+	}
 	res.Salt = EnvelopeSalt
 	res.Version = Version()
 	return res, nil
@@ -254,6 +267,8 @@ func DecodeData(name string, raw json.RawMessage) (any, error) {
 		return decode(&[]ChaosPoint{})
 	case "kernels":
 		return decode(&KernelsResult{})
+	case "scale":
+		return decode(&[]ScalePoint{})
 	}
 	return nil, fmt.Errorf("unknown envelope name %q", name)
 }
@@ -318,6 +333,10 @@ func PrintResult(w io.Writer, res Result) error {
 		printKernels(w, v)
 	case *KernelsResult:
 		printKernels(w, *v)
+	case []ScalePoint:
+		printScale(w, v)
+	case *[]ScalePoint:
+		printScale(w, *v)
 	default:
 		return fmt.Errorf("print %s envelope: unhandled data type %T", res.Name, res.Data)
 	}

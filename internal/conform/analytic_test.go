@@ -54,29 +54,27 @@ func analyticCases() []analyticCase {
 		return math.Max(localFMA, 2*localK*p.LocalAccessCycles)
 	}
 	cases = append(cases,
-		analyticCase{name: "local-loop", p: emu.E16G3(), run: localLoop, want: localWant})
+		analyticCase{name: "local-loop", p: emu.E16G3(), run: localLoop, want: localWant},
+		analyticCase{name: "local-loop-8x8", p: emu.E64(), run: localLoop, want: localWant},
+		analyticCase{name: "local-loop-16x16", p: emu.E256(), run: localLoop, want: localWant})
 	lac2 := emu.E16G3()
 	lac2.LocalAccessCycles = 2
 	cases = append(cases,
 		analyticCase{name: "local-loop-lac2", p: lac2, run: localLoop, want: localWant})
 
-	// Stalling remote reads at every hop count the 4x4 mesh offers from
-	// core (0,0): round-trip base, two hop terms per mesh hop, and the
-	// NoC streaming time of the payload.
-	for hops := 1; hops <= 6; hops++ {
-		hops := hops
-		row := hops
-		if row > 3 {
-			row = 3
-		}
-		col := hops - row
+	// Stalling remote reads, parameterized by the exact mesh distance on
+	// any topology: round-trip base, two hop terms per mesh hop, two eLink
+	// terms per chip boundary the XY route crosses, and the NoC streaming
+	// time of the payload.
+	remoteRead := func(name string, p emu.Params, row, col int) analyticCase {
+		tp := p.Topology()
+		hops, bridges := tp.Dist(0, tp.IDOf(emu.Coord{Row: row, Col: col}))
 		const k, nb = 10, 16
-		cases = append(cases, analyticCase{
-			name: fmt.Sprintf("remote-read-%dhop", hops),
-			p:    emu.E16G3(),
+		return analyticCase{
+			name: name, p: p,
 			run: func(ch *emu.Chip) {
 				c := ch.Cores[0]
-				buf := bufc(ch.Cores[row*ch.P.Cols+col].Bank(0), nb/8)
+				buf := bufc(ch.Cores[row*ch.P.GridCols()+col].Bank(0), nb/8)
 				for i := 0; i < k; i++ {
 					c.Load(buf.ElemAddr(0), nb)
 				}
@@ -84,10 +82,32 @@ func analyticCases() []analyticCase {
 			want: func(p emu.Params) float64 {
 				return k * (p.RemoteReadBase +
 					2*float64(hops)*p.RemoteHopCycles +
+					2*float64(bridges)*p.ELinkHopCycles +
 					wordsOf(nb)*8/p.NoCBytesPerCycle)
 			},
-		})
+		}
 	}
+	// The 4x4 mesh at every hop count it offers from core (0,0)...
+	for hops := 1; hops <= 6; hops++ {
+		row := hops
+		if row > 3 {
+			row = 3
+		}
+		cases = append(cases,
+			remoteRead(fmt.Sprintf("remote-read-%dhop", hops), emu.E16G3(), row, hops-row))
+	}
+	// ...and the scaled, rectangular and eLink-bridged topologies at their
+	// characteristic distances. On the 1x2 chip array of 4x4 chips the grid
+	// is 4x8 and any route past column 3 crosses the bridge.
+	twoChip := emu.E16G3().WithChips(1, 2)
+	cases = append(cases,
+		remoteRead("remote-read-8x8-mid", emu.E64(), 3, 4),
+		remoteRead("remote-read-8x8-corner", emu.E64(), 7, 7),
+		remoteRead("remote-read-16x16-corner", emu.E256(), 15, 15),
+		remoteRead("remote-read-2x8-corner", emu.E16G3().WithMesh(2, 8), 1, 7),
+		remoteRead("remote-read-cross-chip", twoChip, 0, 4),
+		remoteRead("remote-read-cross-chip-far", twoChip, 3, 7),
+	)
 
 	// Stalling off-chip reads: full eLink+SDRAM round trip per access.
 	const extK, extNB = 5, 64
@@ -272,6 +292,118 @@ func analyticCases() []analyticCase {
 		},
 	})
 
+	// Link ping-pong across the eLink bridge: the same periodic steady
+	// state as the neighbour case, with each crossing additionally paying
+	// the bridge term. Cores 0 and 4 sit in mirrored positions of the two
+	// chips: 4 hops, 1 bridge.
+	cases = append(cases, analyticCase{
+		name: "link-pingpong-cross-chip", p: twoChip,
+		run: func(ch *emu.Chip) {
+			ab := ch.Connect(0, 4, 1)
+			ba := ch.Connect(4, 0, 1)
+			ch.Run(5, func(c *emu.Core) {
+				block := make([]complex64, ppW)
+				switch c.ID {
+				case 0:
+					for i := 0; i < ppRounds; i++ {
+						ab.Send(c, block)
+						ba.Recv(c)
+					}
+				case 4:
+					for i := 0; i < ppRounds; i++ {
+						ba.Send(c, ab.Recv(c))
+					}
+				}
+			})
+		},
+		want: func(p emu.Params) float64 {
+			w := wordsOf(ppW * 8)
+			transit := 4*p.RemoteHopCycles + p.ELinkHopCycles + w*8/p.NoCBytesPerCycle
+			round := 2*transit + 2*w*p.LocalAccessCycles + 2*(w+1)
+			return ppRounds * round
+		},
+	})
+
+	// Inter-core DMA across the bridge: the descriptor pays the eLink
+	// round trip on top of the hop term. (0,0)->(0,7): 7 hops, 1 bridge.
+	cases = append(cases, analyticCase{
+		name: "dma-intercore-cross-chip", p: twoChip,
+		run: func(ch *emu.Chip) {
+			c := ch.Cores[0]
+			far := bufc(ch.Cores[7].Bank(0), icElems)
+			local := bufc(c.Bank(2), icElems)
+			c.DMAWait(c.DMACopyC(far, 0, local, 0, icElems))
+		},
+		want: func(p emu.Params) float64 {
+			return p.DMASetupCycles + p.RemoteReadBase + 2*7*p.RemoteHopCycles +
+				2*p.ELinkHopCycles + 8*icElems/p.DMABytesPerCycle
+		},
+	})
+
+	// Per-chip SDRAM channels: one writer per chip posts the same burst,
+	// and chip 1's channel is configured at half rate (a dyadic override,
+	// so the expectation stays exact). The barrier completes when the
+	// slower channel drains — not when a single shared channel would have
+	// drained the combined traffic.
+	slowChip1 := twoChip
+	slowChip1.ExtBytesPerCycleByChip = []float64{0, 0.5}
+	const pcStores = 100
+	cases = append(cases, analyticCase{
+		name: "ext-write-per-chip-channels", p: slowChip1,
+		run: func(ch *emu.Chip) {
+			buf := bufc(ch.Ext(), 2*pcStores)
+			ch.Run(8, func(c *emu.Core) {
+				if c.ID == 0 || c.ID == 4 { // one writer on each chip
+					off := 0
+					if c.ID == 4 {
+						off = pcStores
+					}
+					for i := 0; i < pcStores; i++ {
+						buf.Store(c, off+i, 1)
+					}
+				}
+				c.Barrier()
+			})
+		},
+		want: func(p emu.Params) float64 {
+			issue := pcStores * wordsOf(8) * 8 / p.NoCBytesPerCycle
+			drain0 := pcStores * 8 / p.ExtBytesPerCycle
+			drain1 := pcStores * 8 / p.ExtBytesPerCycleByChip[1]
+			return math.Max(issue, math.Max(drain0, drain1))
+		},
+	})
+
+	// A stalling ext read from a chip-1 core pays that chip's own channel
+	// bandwidth, not the default.
+	cases = append(cases, analyticCase{
+		name: "ext-read-slow-chip", p: slowChip1,
+		run: func(ch *emu.Chip) {
+			c := ch.Cores[4]
+			buf := bufc(ch.Ext(), extNB/8)
+			for i := 0; i < extK; i++ {
+				c.Load(buf.ElemAddr(0), extNB)
+			}
+		},
+		want: func(p emu.Params) float64 {
+			return extK * (p.ExtReadLatency + extNB/p.ExtBytesPerCycleByChip[1])
+		},
+	})
+
+	// Barrier skew on the chip array: no off-chip traffic, so the phase
+	// algebra is identical to the single-chip case at twice the width.
+	cases = append(cases, analyticCase{
+		name: "barrier-skew-2chip", p: twoChip,
+		run: func(ch *emu.Chip) {
+			ch.Run(2*skewN, func(c *emu.Core) {
+				c.FMA(skewA * (c.ID + 1))
+				c.Barrier()
+				c.FMA(skewA * (2*skewN - c.ID))
+				c.Barrier()
+			})
+		},
+		want: func(p emu.Params) float64 { return 2 * 2 * skewN * skewA },
+	})
+
 	return cases
 }
 
@@ -281,8 +413,8 @@ func analyticCases() []analyticCase {
 // case runs traced).
 func TestAnalyticDifferential(t *testing.T) {
 	cases := analyticCases()
-	if len(cases) < 8 {
-		t.Fatalf("only %d analytic cases; the harness promises at least 8", len(cases))
+	if len(cases) < 25 {
+		t.Fatalf("only %d analytic cases; the harness promises at least 25", len(cases))
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

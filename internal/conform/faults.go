@@ -81,12 +81,11 @@ func checkFaultLinks(rep *Report, links []emu.LinkStat) {
 }
 
 // checkRemaps verifies the recorded slot remaps: each one moves work off
-// a halted core onto a distinct live core, and no slot is remapped twice
-// within a run — together with the kernel's identity assignment for
-// healthy slots this guarantees the remapped tiles still partition the
-// original tile set.
+// a dead core (halted individually or with its whole chip) onto a
+// distinct live core, and no slot is remapped twice within a run —
+// together with the kernel's identity assignment for healthy slots this
+// guarantees the remapped tiles still partition the original tile set.
 func checkRemaps(rep *Report, ch *emu.Chip) {
-	inj := ch.Faults()
 	seen := map[int]bool{}
 	for _, m := range ch.Remaps() {
 		if seen[m.Slot] {
@@ -96,16 +95,15 @@ func checkRemaps(rep *Report, ch *emu.Chip) {
 		if m.From == m.To {
 			rep.fail("fault.remap", "slot %d remapped from core %d onto itself", m.Slot, m.From)
 		}
-		if !inj.Halted(m.From) {
+		if m.From >= 0 && m.From < len(ch.Cores) && ch.Alive(m.From) {
 			rep.fail("fault.remap",
 				"slot %d moved off core %d, which the plan never halted", m.Slot, m.From)
 		}
-		if inj.Halted(m.To) {
-			rep.fail("fault.remap",
-				"slot %d moved onto core %d, which the plan halted", m.Slot, m.To)
-		}
 		if m.To < 0 || m.To >= len(ch.Cores) {
 			rep.fail("fault.remap", "slot %d moved onto nonexistent core %d", m.Slot, m.To)
+		} else if !ch.Alive(m.To) {
+			rep.fail("fault.remap",
+				"slot %d moved onto core %d, which the plan halted", m.Slot, m.To)
 		}
 	}
 }
@@ -141,14 +139,14 @@ func checkFaultAttribution(rep *Report, ch *emu.Chip) {
 	}
 }
 
-// checkHaltedCores verifies that hard-halted cores truly never ran: their
-// clocks never advanced and they accumulated no statistics.
+// checkHaltedCores verifies that hard-halted cores truly never ran —
+// whether halted individually or via a whole-chip halt: their clocks
+// never advanced and they accumulated no statistics.
 func checkHaltedCores(rep *Report, ch *emu.Chip) {
-	for _, id := range ch.Faults().HaltedCores() {
-		if id >= len(ch.Cores) {
-			continue // plan may halt cores beyond this mesh
+	for id, c := range ch.Cores {
+		if ch.Alive(id) {
+			continue
 		}
-		c := ch.Cores[id]
 		if cy := c.Cycles(); cy != 0 {
 			rep.fail("fault.halted", "halted core %d advanced to %v cycles", id, cy)
 		}

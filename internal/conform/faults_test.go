@@ -128,6 +128,56 @@ func TestCheckDetectsFaultTampering(t *testing.T) {
 	})
 }
 
+// TestCheckDetectsChipFaultTampering runs a 1x2 chip array with chip 1
+// hard-halted and corrupts the chip-level fault surfaces: the checker
+// must reject remaps onto the dead chip, remaps claiming to move work
+// off cores that are alive (or don't exist), and any sign the halted
+// chip's cores ran.
+func TestCheckDetectsChipFaultTampering(t *testing.T) {
+	chipHaltedRun := func(t *testing.T) *emu.Chip {
+		t.Helper()
+		ch := emu.New(emu.E16G3().WithMesh(2, 2).WithChips(1, 2))
+		ch.SetFaults(fault.MustCompile(fault.Plan{ChipHalts: []int{1}}))
+		if _, err := ch.Assignments(8); err != nil {
+			t.Fatal(err)
+		}
+		ch.Run(8, func(c *emu.Core) {
+			c.FMA(100)
+			c.Barrier()
+		})
+		return ch
+	}
+	t.Run("clean", func(t *testing.T) {
+		ch := chipHaltedRun(t)
+		if rep := conform.Check(ch); !rep.OK() {
+			t.Fatal(rep.Err())
+		}
+		if len(ch.Remaps()) != 4 {
+			t.Fatalf("remaps = %+v; want the halted chip's four slots moved", ch.Remaps())
+		}
+	})
+	t.Run("remap-onto-halted-chip", func(t *testing.T) {
+		ch := chipHaltedRun(t)
+		ch.Remaps()[0].To = 3 // core 3 sits on the halted chip
+		wantViolation(t, conform.Check(ch), "fault.remap")
+	})
+	t.Run("remap-from-live-chip", func(t *testing.T) {
+		ch := chipHaltedRun(t)
+		ch.Remaps()[0].From = 0 // chip 0 is alive
+		wantViolation(t, conform.Check(ch), "fault.remap")
+	})
+	t.Run("remap-onto-nonexistent-core", func(t *testing.T) {
+		ch := chipHaltedRun(t)
+		ch.Remaps()[0].To = 99
+		wantViolation(t, conform.Check(ch), "fault.remap")
+	})
+	t.Run("halted-chip-core-ran", func(t *testing.T) {
+		ch := chipHaltedRun(t)
+		ch.Cores[6].Stats.FMA = 1 // core 6 sits on the halted chip
+		wantViolation(t, conform.Check(ch), "fault.halted")
+	})
+}
+
 // TestCheckFaultLinksTampering feeds hand-corrupted link statistics to
 // the retransmission-balance checker.
 func TestCheckFaultLinksTampering(t *testing.T) {

@@ -82,7 +82,29 @@ func checkPhases(rep *Report, ch *emu.Chip) {
 		if p.ExtBusy < 0 {
 			rep.fail("phase.resolution", "phase %d negative ext busy %v", i, p.ExtBusy)
 		}
-		drain := p.Start + p.ExtBusy
+		// The drain term is per SDRAM channel: on a single chip ExtBusy
+		// is the one channel's service time; on a multi-chip array each
+		// chip's channel drains independently and the barrier waits for
+		// the slowest. maxBusy is the busiest channel's service time.
+		maxBusy := p.ExtBusy
+		if len(p.ExtBusyByChip) > 0 {
+			maxBusy = 0
+			var sum float64
+			for k, b := range p.ExtBusyByChip {
+				if b < 0 {
+					rep.fail("phase.resolution", "phase %d chip %d negative ext busy %v", i, k, b)
+				}
+				sum += b
+				if b > maxBusy {
+					maxBusy = b
+				}
+			}
+			if !closeCycles(sum, p.ExtBusy) {
+				rep.fail("phase.resolution",
+					"phase %d per-chip ext busy sums to %v, ExtBusy = %v", i, sum, p.ExtBusy)
+			}
+		}
+		drain := p.Start + maxBusy
 		want := p.SlowestCore
 		if drain > want {
 			want = drain
@@ -103,11 +125,11 @@ func checkPhases(rep *Report, ch *emu.Chip) {
 				i, drain, p.SlowestCore)
 		}
 		// Drained at every barrier: the phase cannot end with off-chip
-		// service time still owed beyond its own span.
-		if p.ExtBusy > p.End-p.Start+cycleEps {
+		// service time still owed on any channel beyond its own span.
+		if maxBusy > p.End-p.Start+cycleEps {
 			rep.fail("phase.ext-drain",
-				"phase %d consumed %v service cycles in a %v-cycle span",
-				i, p.ExtBusy, p.End-p.Start)
+				"phase %d consumed %v service cycles on one channel in a %v-cycle span",
+				i, maxBusy, p.End-p.Start)
 		}
 	}
 	if prevEnd > end+tolAt(end) {

@@ -126,8 +126,9 @@ func TestMeshDist(t *testing.T) {
 	} {
 		ba := mustBuf(t, ch.Cores[tc.a].Bank(0), 1)
 		bb := mustBuf(t, ch.Cores[tc.b].Bank(0), 1)
-		if got := meshDist(ba.Addr, bb.Addr); got != tc.want {
-			t.Errorf("meshDist(core%d, core%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		if got, bridges := ch.P.dist(ba.Addr, bb.Addr); got != tc.want || bridges != 0 {
+			t.Errorf("dist(core%d, core%d) = %d hops, %d bridges, want %d hops on one chip",
+				tc.a, tc.b, got, bridges, tc.want)
 		}
 	}
 }

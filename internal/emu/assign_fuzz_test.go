@@ -1,0 +1,166 @@
+package emu
+
+import (
+	"testing"
+
+	"sarmany/internal/fault"
+)
+
+// assignParams derives a small but arbitrary topology from fuzz bytes:
+// per-chip meshes up to 4x4 arranged in chip arrays up to 2x2, so the
+// properties are exercised on single chips, rectangles and eLink-bridged
+// arrays alike.
+func assignParams(rows, cols, chipRows, chipCols uint8) Params {
+	return E16G3().
+		WithMesh(1+int(rows%4), 1+int(cols%4)).
+		WithChips(1+int(chipRows%2), 1+int(chipCols%2))
+}
+
+// assignPlan derives a fault plan from two bit masks: one over core IDs,
+// one over chip IDs.
+func assignPlan(p Params, haltMask uint32, chipHaltMask uint8) fault.Plan {
+	var plan fault.Plan
+	for i := 0; i < p.NumCores() && i < 32; i++ {
+		if haltMask&(1<<i) != 0 {
+			plan.Halts = append(plan.Halts, i)
+		}
+	}
+	for c := 0; c < p.NumChips(); c++ {
+		if chipHaltMask&(1<<c) != 0 {
+			plan.ChipHalts = append(plan.ChipHalts, c)
+		}
+	}
+	return plan
+}
+
+// checkAssignments verifies the full Assignments contract on one
+// topology/plan/n combination:
+//
+//   - a live slot stays on its own core;
+//   - a dead slot moves to a live core of the run at minimal grid
+//     Manhattan distance, lowest core ID among equals;
+//   - every move is recorded as a Remap in slot order;
+//   - when the run has no live core at all, Assignments errors.
+func checkAssignments(t *testing.T, p Params, plan fault.Plan, n int) {
+	t.Helper()
+	ch := New(p)
+	if !plan.Empty() {
+		ch.SetFaults(fault.MustCompile(plan))
+	}
+	liveInRun := false
+	for i := 0; i < n; i++ {
+		if ch.Alive(i) {
+			liveInRun = true
+			break
+		}
+	}
+	assign, err := ch.Assignments(n)
+	if !liveInRun {
+		if err == nil {
+			t.Fatalf("n=%d, plan %q: all cores dead but Assignments succeeded", n, plan.String())
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("n=%d, plan %q: %v", n, plan.String(), err)
+	}
+	if len(assign) != n {
+		t.Fatalf("n=%d: got %d slots", n, len(assign))
+	}
+	var wantRemaps []Remap
+	for slot, core := range assign {
+		if ch.Alive(slot) {
+			if core != slot {
+				t.Errorf("live slot %d moved to core %d", slot, core)
+			}
+			continue
+		}
+		// Dead slot: the taker must be a live core of the run...
+		if core < 0 || core >= n || !ch.Alive(core) {
+			t.Fatalf("dead slot %d assigned to %d (n=%d, alive=%v)", slot, core, n, core >= 0 && core < n && ch.Alive(core))
+		}
+		// ...at minimal distance, lowest ID among the closest.
+		from := ch.Cores[slot]
+		got := ch.Cores[core]
+		gotD := abs(from.Row-got.Row) + abs(from.Col-got.Col)
+		for j := 0; j < n; j++ {
+			if !ch.Alive(j) {
+				continue
+			}
+			d := abs(from.Row-ch.Cores[j].Row) + abs(from.Col-ch.Cores[j].Col)
+			if d < gotD || (d == gotD && j < core) {
+				t.Errorf("slot %d -> core %d (distance %d), but live core %d is at distance %d",
+					slot, core, gotD, j, d)
+				break
+			}
+		}
+		wantRemaps = append(wantRemaps, Remap{Slot: slot, From: slot, To: core})
+	}
+	remaps := ch.Remaps()
+	if len(remaps) != len(wantRemaps) {
+		t.Fatalf("recorded %d remaps, want %d", len(remaps), len(wantRemaps))
+	}
+	for i, r := range remaps {
+		if r != wantRemaps[i] {
+			t.Errorf("remap %d = %+v, want %+v", i, r, wantRemaps[i])
+		}
+	}
+}
+
+// FuzzAssignments is the property test for the fault remapper across
+// arbitrary topologies, halt sets and run widths. The seed corpus covers
+// single-chip meshes, rectangles, chip arrays, whole-chip halts and the
+// no-survivor case; go test runs the corpus, go test -fuzz explores.
+func FuzzAssignments(f *testing.F) {
+	f.Add(uint8(3), uint8(3), uint8(0), uint8(0), uint32(0b10), uint8(0), uint8(16))
+	f.Add(uint8(3), uint8(3), uint8(0), uint8(1), uint32(0b1100), uint8(1), uint8(32))
+	f.Add(uint8(1), uint8(3), uint8(1), uint8(0), uint32(0), uint8(2), uint8(8))       // rectangle, 2x1 chips
+	f.Add(uint8(3), uint8(3), uint8(1), uint8(1), uint32(0), uint8(0b1110), uint8(64)) // 3 of 4 chips dead
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint32(1), uint8(0), uint8(1))       // sole core halted
+	f.Add(uint8(2), uint8(1), uint8(0), uint8(0), uint32(0xffffffff), uint8(0), uint8(6))
+	f.Fuzz(func(t *testing.T, rows, cols, chipRows, chipCols uint8, haltMask uint32, chipHaltMask uint8, nRaw uint8) {
+		p := assignParams(rows, cols, chipRows, chipCols)
+		n := 1 + int(nRaw)%p.NumCores()
+		checkAssignments(t, p, assignPlan(p, haltMask, chipHaltMask), n)
+	})
+}
+
+// TestAssignmentsProperties runs the same contract check on a fixed grid
+// of interesting combinations, so the properties are exercised
+// deterministically (and under -race) without the fuzzer.
+func TestAssignmentsProperties(t *testing.T) {
+	topos := []struct {
+		name string
+		p    Params
+	}{
+		{"4x4", E16G3()},
+		{"8x8", E64()},
+		{"2x8", E16G3().WithMesh(2, 8)},
+		{"1x2chips-of-4x4", E16G3().WithChips(1, 2)},
+		{"2x2chips-of-2x2", E16G3().WithMesh(2, 2).WithChips(2, 2)},
+	}
+	masks := []struct {
+		name     string
+		halt     uint32
+		chipHalt uint8
+	}{
+		{"healthy", 0, 0},
+		{"one-core", 1 << 5, 0},
+		{"scattered", 0b1001010000110, 0},
+		{"chip1-down", 0, 0b10},
+		{"chip-down-plus-core", 1 << 1, 0b10},
+	}
+	for _, tp := range topos {
+		p := tp.p
+		for _, m := range masks {
+			t.Run(tp.name+"/"+m.name, func(t *testing.T) {
+				for _, n := range []int{1, p.NumCores() / 2, p.NumCores()} {
+					if n < 1 {
+						continue
+					}
+					checkAssignments(t, p, assignPlan(p, m.halt, m.chipHalt), n)
+				}
+			})
+		}
+	}
+}

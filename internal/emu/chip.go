@@ -10,20 +10,29 @@ import (
 	"sarmany/internal/sim"
 )
 
-// Chip is one simulated Epiphany device: a mesh of cores, their local
-// memories, the shared off-chip channel, and external SDRAM. A Chip is
-// single-shot: construct it, Run one workload, then read times and stats.
+// Chip is one simulated Epiphany device or eLink-bridged array of
+// devices: a global grid of cores, their local memories, one off-chip
+// SDRAM channel per chip, and external SDRAM. A Chip is single-shot:
+// construct it, Run one workload, then read times and stats.
 type Chip struct {
 	P     Params
 	Cores []*Core
 
-	ext *machine.Bump // external SDRAM allocator (shared)
+	ext *machine.Bump // external SDRAM allocator (shared address space)
 
-	// Barrier state for the active Run.
+	// originRow/originCol cache the address-map placement of the grid
+	// (see Params.meshOrigin) and gridRows/gridCols the global grid
+	// dimensions, for the hot address-classification path.
+	originRow, originCol int
+	gridRows, gridCols   int
+
+	// Barrier state for the active Run. chipBusy is resolvePhase's
+	// per-chip channel accumulation scratch, reused across phases.
 	active     int
 	bar        *sim.Rendezvous
 	barTimes   []float64
 	barBusy    []float64
+	chipBusy   []float64
 	phaseStart float64
 	trace      []PhaseRecord
 	// phaseCum is the cumulative active-core stats at the end of the most
@@ -61,27 +70,40 @@ func New(p Params) *Chip {
 		panic(fmt.Sprintf("emu: %d banks of %d bytes do not form %d bytes of local memory",
 			p.NumBanks, p.BankBytes, p.LocalMemBytes))
 	}
-	// The global address map encodes 6-bit mesh coordinates starting at
-	// (firstMeshRow, firstMeshCol); larger meshes would alias.
-	if firstMeshRow+p.Rows > 64 || firstMeshCol+p.Cols > 64 {
-		panic(fmt.Sprintf("emu: %dx%d mesh exceeds the 6-bit address map", p.Rows, p.Cols))
+	// The global address map encodes 6-bit node coordinates; a grid that
+	// cannot fit the coordinate space at all is rejected with the
+	// historical message, and one that fits only on top of the external
+	// window is rejected as a collision. meshOrigin keeps every grid that
+	// fits the classic (firstMeshRow, firstMeshCol) placement there, so
+	// historical addresses are unchanged.
+	gR, gC := p.GridRows(), p.GridCols()
+	oR, oC, ok := p.meshOrigin()
+	if !ok {
+		if gR > 64 || gC > 64 {
+			panic(fmt.Sprintf("emu: %dx%d grid exceeds the 6-bit address map", gR, gC))
+		}
+		panic(fmt.Sprintf("emu: %dx%d grid cannot avoid the external-memory window of the address map", gR, gC))
 	}
 	ch := &Chip{
-		P:        p,
-		ext:      machine.NewBump(ExtBase, ExtSize),
+		P:         p,
+		ext:       machine.NewBump(ExtBase, ExtSize),
+		originRow: oR, originCol: oC,
+		gridRows: gR, gridCols: gC,
 		barTimes: make([]float64, p.NumCores()),
 		barBusy:  make([]float64, p.NumCores()),
+		chipBusy: make([]float64, p.NumChips()),
 	}
-	for r := 0; r < p.Rows; r++ {
-		for c := 0; c < p.Cols; c++ {
+	for r := 0; r < gR; r++ {
+		for c := 0; c < gC; c++ {
 			core := &Core{
 				chip: ch,
-				ID:   r*p.Cols + c,
+				ID:   r*gC + c,
 				Row:  r, Col: c,
-				slow:  1,
-				banks: make([]*machine.Bump, p.NumBanks),
+				chipIdx: (r/p.Rows)*p.chipCols() + c/p.Cols,
+				slow:    1,
+				banks:   make([]*machine.Bump, p.NumBanks),
 			}
-			base := coreBase(r, c)
+			base := p.coreBase(r, c)
 			for b := 0; b < p.NumBanks; b++ {
 				core.banks[b] = machine.NewBump(base+uint32(b*p.BankBytes), p.BankBytes)
 			}
@@ -111,7 +133,12 @@ func (ch *Chip) SetTracer(tr *obs.Tracer) {
 		}
 		return
 	}
-	tr.NameProcess(0, fmt.Sprintf("epiphany %dx%d", ch.P.Rows, ch.P.Cols))
+	if ch.P.NumChips() == 1 {
+		tr.NameProcess(0, fmt.Sprintf("epiphany %dx%d", ch.P.Rows, ch.P.Cols))
+	} else {
+		tr.NameProcess(0, fmt.Sprintf("epiphany %dx%d chips of %dx%d",
+			ch.P.chipRows(), ch.P.chipCols(), ch.P.Rows, ch.P.Cols))
+	}
 	ch.phaseTrack = tr.NewTrack(0, 0, "phases")
 	for _, c := range ch.Cores {
 		c.tr = tr.NewTrack(0, c.ID+1, fmt.Sprintf("core %d", c.ID))
@@ -182,21 +209,28 @@ func (ch *Chip) Settle() {
 
 // resolvePhase settles off-chip bandwidth contention for the phase that
 // just ended: the barrier completes either when the slowest core finishes
-// or when the shared off-chip channel has drained all traffic offered
-// during the phase, whichever is later.
+// or when every chip's SDRAM channel has drained the traffic its cores
+// offered during the phase, whichever is later. On a single chip this is
+// exactly the historical shared-channel settlement.
 func (ch *Chip) resolvePhase() {
 	var maxFinish, totalBusy float64
+	for k := range ch.chipBusy {
+		ch.chipBusy[k] = 0
+	}
 	for i := 0; i < ch.active; i++ {
 		if ch.barTimes[i] > maxFinish {
 			maxFinish = ch.barTimes[i]
 		}
-		totalBusy += ch.barBusy[i]
+		ch.chipBusy[ch.Cores[i].chipIdx] += ch.barBusy[i]
 	}
 	t := maxFinish
 	bwBound := false
-	if drain := ch.phaseStart + totalBusy; drain > t {
-		t = drain
-		bwBound = true
+	for _, busy := range ch.chipBusy {
+		totalBusy += busy
+		if drain := ch.phaseStart + busy; drain > t {
+			t = drain
+			bwBound = true
+		}
 	}
 	// Attribute the phase's operation counts and traffic: the other cores
 	// are parked in the rendezvous with their windows committed, so their
@@ -206,7 +240,7 @@ func (ch *Chip) resolvePhase() {
 	cum := ch.sumActiveStats()
 	delta := SubStats(cum, ch.phaseCum)
 	ch.phaseCum = cum
-	ch.trace = append(ch.trace, PhaseRecord{
+	rec := PhaseRecord{
 		Index:          len(ch.trace),
 		Start:          ch.phaseStart,
 		End:            t,
@@ -214,7 +248,11 @@ func (ch *Chip) resolvePhase() {
 		ExtBusy:        totalBusy,
 		BandwidthBound: bwBound,
 		Stats:          delta,
-	})
+	}
+	if len(ch.chipBusy) > 1 {
+		rec.ExtBusyByChip = append([]float64(nil), ch.chipBusy...)
+	}
+	ch.trace = append(ch.trace, rec)
 	kind := obs.KindPhaseCompute
 	if bwBound {
 		kind = obs.KindPhaseBandwidth
@@ -246,11 +284,14 @@ func (ch *Chip) PhaseTrack() *obs.Track { return ch.phaseTrack }
 // LinkStat is the read-side view of one streaming link's occupancy after
 // a run completes.
 type LinkStat struct {
-	From   int    `json:"from"`
-	To     int    `json:"to"`
-	Hops   int    `json:"hops"`
-	Blocks uint64 `json:"blocks"`
-	Bytes  uint64 `json:"bytes"`
+	From int `json:"from"`
+	To   int `json:"to"`
+	Hops int `json:"hops"`
+	// Bridges counts the chip boundaries (eLink bridges) the link's XY
+	// route crosses; zero on a single chip.
+	Bridges int    `json:"bridges,omitempty"`
+	Blocks  uint64 `json:"blocks"`
+	Bytes   uint64 `json:"bytes"`
 	// Recvs and RecvBytes are the consumer-side counts; a balanced run
 	// drains every link, so they match Blocks and Bytes (the conformance
 	// checker verifies exactly that).
@@ -278,7 +319,7 @@ func (ch *Chip) LinkStats() []LinkStat {
 	out := make([]LinkStat, 0, len(ch.links))
 	for _, l := range ch.links {
 		out = append(out, LinkStat{
-			From: l.from.ID, To: l.to.ID, Hops: l.hops,
+			From: l.from.ID, To: l.to.ID, Hops: l.hops, Bridges: l.bridges,
 			Blocks: l.sends, Bytes: l.bytes,
 			Recvs: l.recvs, RecvBytes: l.recvBytes,
 			SendWait: l.sendStall, RecvWait: l.recvStall,
@@ -330,6 +371,7 @@ type Link struct {
 	ch       *sim.Chan[[]complex64]
 	from, to *Core
 	hops     int
+	bridges  int // chip boundaries (eLink bridges) the route crosses
 
 	// Occupancy statistics. sends/bytes/sendStall are written only by the
 	// producer core's goroutine, recvs/recvBytes/recvStall only by the
@@ -352,13 +394,23 @@ type Link struct {
 func (ch *Chip) Connect(from, to, capacity int) *Link {
 	f, t := ch.Cores[from], ch.Cores[to]
 	l := &Link{
-		ch:   sim.NewChan[[]complex64](capacity),
-		from: f,
-		to:   t,
-		hops: abs(f.Row-t.Row) + abs(f.Col-t.Col),
+		ch:      sim.NewChan[[]complex64](capacity),
+		from:    f,
+		to:      t,
+		hops:    abs(f.Row-t.Row) + abs(f.Col-t.Col),
+		bridges: ch.P.bridgesBetween(f.Row, f.Col, t.Row, t.Col),
 	}
 	ch.links = append(ch.links, l)
 	return l
+}
+
+// transit returns the one-way mesh traversal latency of an n-byte block
+// on the link: one RemoteHopCycles per grid hop, one ELinkHopCycles per
+// chip boundary, plus the serialization of the payload.
+func (l *Link) transit(n int) float64 {
+	p := &l.from.chip.P
+	return float64(l.hops)*p.RemoteHopCycles + float64(l.bridges)*p.ELinkHopCycles +
+		words(n)*8/p.NoCBytesPerCycle
 }
 
 // Send streams vals over the link. It must be called by the link's
@@ -378,7 +430,7 @@ func (l *Link) Send(c *Core, vals []complex64) {
 	// Injected link faults: the block may be lost en route; the producer
 	// times out, backs off, and retransmits before the delivery below.
 	l.injectSendFaults(c, n)
-	dur := float64(l.hops)*c.chip.P.RemoteHopCycles + words(n)*8/c.chip.P.NoCBytesPerCycle
+	dur := l.transit(n)
 	block := append([]complex64(nil), vals...)
 	before := c.now
 	c.now = l.ch.Send(c.now, block, dur)
@@ -412,8 +464,7 @@ func (l *Link) Recv(c *Core) []complex64 {
 		// The block that unblocked the consumer left the producer one
 		// mesh traversal earlier; record the handoff edge so the critical
 		// path can continue on the producer.
-		transit := float64(l.hops)*c.chip.P.RemoteHopCycles + words(len(v)*8)*8/c.chip.P.NoCBytesPerCycle
-		c.tr.Dep(l.from.tr, now-transit, now)
+		c.tr.Dep(l.from.tr, now-l.transit(len(v)*8), now)
 		l.recvStall += c.now - before
 	}
 	l.recvs++

@@ -72,9 +72,14 @@ func (s *CoreStats) addStall(kind obs.Kind, cy float64) {
 // ALU), its banked local memory, and its DMA engine. Core implements
 // machine.Machine.
 type Core struct {
-	chip     *Chip
-	ID       int
+	chip *Chip
+	ID   int
+	// Row, Col are the core's position on the global grid of the whole
+	// array (identical to the chip mesh position on a single chip).
 	Row, Col int
+	// chipIdx is the chip (row-major over the chip array) hosting this
+	// core; its SDRAM channel serves the core's external accesses.
+	chipIdx int
 
 	now  float64 // committed local time, cycles
 	fpu  float64 // pending FPU-pipe cycles since last commit
@@ -189,13 +194,14 @@ func words(n int) float64 { return float64((n + 7) / 8) }
 // highlights ("writing has a single cycle throughput whereas the memory
 // read operation is more expensive due to stalling").
 func (c *Core) Load(addr uint32, n int) {
-	switch loc, hops := c.classify(addr); loc {
+	switch loc, hops, bridges := c.classify(addr); loc {
 	case locLocal:
 		c.ialu += words(n) * c.chip.P.LocalAccessCycles
 		c.Stats.LocalLoads++
 	case locRemote:
 		p := &c.chip.P
-		c.stall(p.RemoteReadBase+2*float64(hops)*p.RemoteHopCycles+words(n)*8/p.NoCBytesPerCycle, obs.KindStallRead)
+		c.stall(p.RemoteReadBase+2*float64(hops)*p.RemoteHopCycles+2*float64(bridges)*p.ELinkHopCycles+
+			words(n)*8/p.NoCBytesPerCycle, obs.KindStallRead)
 		c.Stats.RemoteReads++
 		c.Stats.NoCBytes += uint64(n)
 	case locExt:
@@ -213,7 +219,7 @@ func (c *Core) Load(addr uint32, n int) {
 // cost only their issue cycles, with the consumed off-chip bandwidth
 // settled at the next barrier by the contention model.
 func (c *Core) Store(addr uint32, n int) {
-	switch loc, _ := c.classify(addr); loc {
+	switch loc, _, _ := c.classify(addr); loc {
 	case locLocal:
 		c.ialu += words(n) * c.chip.P.LocalAccessCycles
 		c.Stats.LocalStores++
@@ -253,39 +259,33 @@ const (
 	locExt
 )
 
-// tileOf returns the mesh coordinates encoded in a core-mapped global
-// address (not validated against the configured mesh).
-func tileOf(addr uint32) (row, col int) {
+// tileOf returns the global grid coordinates encoded in a core-mapped
+// address, using the chip's cached address-map origin (not validated
+// against the configured grid).
+func (ch *Chip) tileOf(addr uint32) (row, col int) {
 	id := addr >> 20
-	return int(id>>6) - firstMeshRow, int(id&0x3f) - firstMeshCol
-}
-
-// meshDist returns the Manhattan distance between the tiles of two
-// core-mapped addresses — the XY-route hop count a transfer between them
-// traverses. Both addresses must be core-mapped (not external).
-func meshDist(a, b uint32) int {
-	ar, ac := tileOf(a)
-	br, bc := tileOf(b)
-	return abs(ar-br) + abs(ac-bc)
+	return int(id>>6) - ch.originRow, int(id&0x3f) - ch.originCol
 }
 
 // classify maps a global address to local / remote-core / external, and
-// for remote addresses returns the Manhattan hop count of the XY route.
-func (c *Core) classify(addr uint32) (location, int) {
+// for remote addresses returns the Manhattan hop count of the XY route
+// plus the number of chip boundaries (eLink bridges) it crosses.
+func (c *Core) classify(addr uint32) (location, int, int) {
 	if addr >= ExtBase && addr < ExtBase+ExtSize {
-		return locExt, 0
+		return locExt, 0, 0
 	}
-	row, col := tileOf(addr)
-	if row < 0 || row >= c.chip.P.Rows || col < 0 || col >= c.chip.P.Cols {
+	row, col := c.chip.tileOf(addr)
+	if row < 0 || row >= c.chip.gridRows || col < 0 || col >= c.chip.gridCols {
 		panic(fmt.Sprintf("emu: address %#x maps to no core or external region", addr))
 	}
 	if int(addr&0xfffff) >= c.chip.P.LocalMemBytes {
 		panic(fmt.Sprintf("emu: address %#x beyond local memory of core (%d,%d)", addr, row, col))
 	}
 	if row == c.Row && col == c.Col {
-		return locLocal, 0
+		return locLocal, 0, 0
 	}
-	return locRemote, abs(row-c.Row) + abs(col-c.Col)
+	return locRemote, abs(row-c.Row) + abs(col-c.Col),
+		c.chip.P.bridgesBetween(row, col, c.Row, c.Col)
 }
 
 func abs(x int) int {
@@ -313,15 +313,16 @@ type DMA struct {
 // dmaStart computes the timing of a DMA transfer of n bytes. extRead and
 // extWrite say whether the source and destination, respectively, are in
 // external memory; hops is the XY-route Manhattan distance between the
-// two tiles of an on-chip transfer. The engine processes one descriptor
-// at a time, so a new transfer starts after the previous one completes.
+// two tiles of an intercore transfer and bridges the chip boundaries the
+// route crosses. The engine processes one descriptor at a time, so a new
+// transfer starts after the previous one completes.
 //
 // Off-chip transfers keep the read/write asymmetry the paper highlights:
 // a read burst pays the eLink+SDRAM round-trip latency before the bytes
 // stream back, while a write burst is posted — the engine only streams
 // the bytes out, and the consumed channel bandwidth is settled at the
 // next barrier by the contention model.
-func (c *Core) dmaStart(n int, extRead, extWrite bool, hops int) DMA {
+func (c *Core) dmaStart(n int, extRead, extWrite bool, hops, bridges int) DMA {
 	c.ialu += c.chip.P.DMASetupCycles
 	c.commit()
 	start := c.now
@@ -341,7 +342,8 @@ func (c *Core) dmaStart(n int, extRead, extWrite bool, hops int) DMA {
 			c.extBusy += service
 		}
 	} else {
-		dur = p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles + float64(n)/p.DMABytesPerCycle
+		dur = p.RemoteReadBase + 2*float64(hops)*p.RemoteHopCycles +
+			2*float64(bridges)*p.ELinkHopCycles + float64(n)/p.DMABytesPerCycle
 		c.Stats.NoCBytes += uint64(n)
 	}
 	if extra := c.injectDMAFaults(); extra > 0 {
@@ -372,11 +374,11 @@ func (c *Core) DMACopyC(dst *machine.BufC, do int, src *machine.BufC, so, n int)
 		c.Stats.ExtWrites++ // one posted burst
 		c.Stats.ExtWriteB += uint64(8 * n)
 	}
-	hops := 0
+	hops, bridges := 0, 0
 	if !extRead && !extWrite {
-		hops = meshDist(srcAddr, dstAddr)
+		hops, bridges = c.chip.P.dist(srcAddr, dstAddr)
 	}
-	return c.dmaStart(8*n, extRead, extWrite, hops)
+	return c.dmaStart(8*n, extRead, extWrite, hops, bridges)
 }
 
 // DMAWait blocks (in simulated time) until transfer d has completed.

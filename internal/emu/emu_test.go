@@ -16,7 +16,7 @@ func TestNewChipLayout(t *testing.T) {
 		t.Errorf("core 5 at (%d,%d)", ch.Cores[5].Row, ch.Cores[5].Col)
 	}
 	// Real E16G3 map: first core page at 0x80800000.
-	if got := coreBase(0, 0); got != 0x80800000 {
+	if got := ch.P.coreBase(0, 0); got != 0x80800000 {
 		t.Errorf("coreBase(0,0) = %#x", got)
 	}
 }
@@ -35,7 +35,7 @@ func TestParamsHelpers(t *testing.T) {
 }
 
 func TestNewChipRejectsOversizedMesh(t *testing.T) {
-	p := E16G3().WithMesh(40, 4) // 32+40 > 64: would alias in the address map
+	p := E16G3().WithMesh(65, 4) // no 6-bit placement holds 65 rows
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -177,7 +177,7 @@ func TestExtReadStallAndWritePosted(t *testing.T) {
 func TestClassifyPanicsOnBadAddress(t *testing.T) {
 	ch := New(E16G3())
 	c := ch.Cores[0]
-	for _, addr := range []uint32{0, 0x7fffffff, coreBase(0, 0) + 0x8000 /* beyond 32 KB */} {
+	for _, addr := range []uint32{0, 0x7fffffff, ch.P.coreBase(0, 0) + 0x8000 /* beyond 32 KB */} {
 		func() {
 			defer func() {
 				if recover() == nil {

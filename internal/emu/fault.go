@@ -17,13 +17,15 @@ import (
 
 // SetFaults attaches (or with nil detaches) a compiled fault plan. Attach
 // before Run: the injector seeds per-core derating factors and decides
-// which cores are alive. Detaching restores every core to full speed.
+// which cores are alive. A whole-chip derate multiplies onto the per-core
+// factors of that chip's cores. Detaching restores every core to full
+// speed.
 func (ch *Chip) SetFaults(inj *fault.Injector) {
 	ch.faults = inj
 	for _, c := range ch.Cores {
 		c.slow = 1
 		if inj != nil {
-			c.slow = inj.Slowdown(c.ID)
+			c.slow = inj.Slowdown(c.ID) * inj.ChipSlowdown(c.chipIdx)
 		}
 	}
 	ch.makeFaultTracks()
@@ -34,9 +36,12 @@ func (ch *Chip) SetFaults(inj *fault.Injector) {
 func (ch *Chip) Faults() *fault.Injector { return ch.faults }
 
 // Alive reports whether core i participates in runs (true unless a fault
-// plan hard-halts it).
+// plan hard-halts it, individually or by halting its whole chip).
 func (ch *Chip) Alive(i int) bool {
-	return ch.faults == nil || !ch.faults.Halted(i)
+	if ch.faults == nil {
+		return true
+	}
+	return !ch.faults.Halted(i) && !ch.faults.ChipHalted(ch.Cores[i].chipIdx)
 }
 
 // makeFaultTracks creates one fault-event track per core when both a
@@ -157,11 +162,12 @@ func (ch *Chip) RemapPlacement(placement []int) ([]int, error) {
 }
 
 // extBW returns the effective off-chip channel bandwidth in bytes per
-// cycle: the configured figure, scaled down when a fault plan degrades
-// the SDRAM channel. The fault-free path is untouched arithmetic — the
-// scale is only applied when it differs from 1.
+// cycle for this core's chip: the configured per-chip figure, scaled
+// down when a fault plan degrades the SDRAM channel. The fault-free path
+// is untouched arithmetic — the scale is only applied when it differs
+// from 1.
 func (c *Core) extBW() float64 {
-	bw := c.chip.P.ExtBytesPerCycle
+	bw := c.chip.P.ExtBWOfChip(c.chipIdx)
 	if f := c.chip.faults; f != nil {
 		if s := f.ExtScale(); s != 1 {
 			bw *= s

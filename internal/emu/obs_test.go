@@ -65,7 +65,7 @@ func TestTracingDisabledIsBitIdenticalAndAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	remote := ch.Cores[5]
-	raddr := coreBase(remote.Row, remote.Col)
+	raddr := ch.P.coreBase(remote.Row, remote.Col)
 	if n := testing.AllocsPerRun(1000, func() {
 		c.FMA(16)
 		c.IOp(4)

@@ -6,9 +6,12 @@ import (
 )
 
 // TestWithMeshEdgeCases pins New's validation of resized meshes: an empty
-// mesh is rejected outright, and the 6-bit row/column fields of the
-// global address map bound how far the mesh can grow in each dimension
-// (rows start at 32, columns at 8).
+// mesh is rejected outright, and the 6-bit node-coordinate space of the
+// global address map bounds how far the grid can grow. Grids that fit
+// the classic (32, 8) origin stay there; larger ones relocate to (0, 0),
+// and only grids that fit neither placement — too big for 64x64, or
+// unavoidably covering the external-memory window at node (35, 32..63)
+// — are rejected.
 func TestWithMeshEdgeCases(t *testing.T) {
 	cases := []struct {
 		name       string
@@ -19,11 +22,16 @@ func TestWithMeshEdgeCases(t *testing.T) {
 		{"zero cols", 4, 0, "needs at least one core"},
 		{"negative", -1, 4, "needs at least one core"},
 		{"single core", 1, 1, ""},
-		{"max rows", 32, 1, ""},
-		{"rows overflow", 33, 1, "exceeds the 6-bit address map"},
-		{"max cols", 1, 56, ""},
-		{"cols overflow", 1, 57, "exceeds the 6-bit address map"},
+		{"max rows classic", 32, 1, ""},
+		{"rows relocate", 33, 1, ""},
+		{"max cols classic", 1, 56, ""},
+		{"cols relocate", 1, 57, ""},
 		{"e64 shape", 8, 8, ""},
+		{"e256 shape", 16, 16, ""},
+		{"relocated 32x32", 32, 32, ""},
+		{"rows exceed map", 65, 1, "exceeds the 6-bit address map"},
+		{"cols exceed map", 1, 65, "exceeds the 6-bit address map"},
+		{"ext window collision", 36, 33, "external-memory window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

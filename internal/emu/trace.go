@@ -16,8 +16,14 @@ type PhaseRecord struct {
 	Start, End float64 // cycles
 	// SlowestCore is the latest per-core finish time of the phase.
 	SlowestCore float64
-	// ExtBusy is the total off-chip channel service time consumed.
+	// ExtBusy is the total off-chip channel service time consumed,
+	// summed over every chip's SDRAM channel.
 	ExtBusy float64
+	// ExtBusyByChip breaks ExtBusy down per SDRAM channel (indexed by
+	// chip, row-major over the chip array). nil on a single chip, where
+	// ExtBusy is the whole story; when present the slices sum to ExtBusy
+	// and the barrier drains each channel independently.
+	ExtBusyByChip []float64
 	// BandwidthBound reports whether draining the off-chip channel (not
 	// core compute) determined the barrier time.
 	BandwidthBound bool

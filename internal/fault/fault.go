@@ -65,6 +65,13 @@ type Derate struct {
 	Factor float64
 }
 
+// ChipDerate slows every core of one chip of a multi-chip array by
+// Factor (>= 1); it multiplies onto any per-core derate of those cores.
+type ChipDerate struct {
+	Chip   int
+	Factor float64
+}
+
 // Plan is one declarative fault scenario. The zero Plan is the empty
 // plan: compiling it yields a no-op Injector.
 type Plan struct {
@@ -76,6 +83,11 @@ type Plan struct {
 	Halts []int `json:"halts,omitempty"`
 	// Derates lists per-core frequency deratings.
 	Derates []Derate `json:"derates,omitempty"`
+	// ChipHalts lists hard-halted chips of a multi-chip array: every
+	// core of a halted chip behaves as if individually halted.
+	ChipHalts []int `json:"chip_halts,omitempty"`
+	// ChipDerates lists whole-chip frequency deratings.
+	ChipDerates []ChipDerate `json:"chip_derates,omitempty"`
 	// ExtScale scales the off-chip SDRAM channel bandwidth; 0 means unset
 	// (treated as 1). Valid values are in (0, 1].
 	ExtScale float64     `json:"ext_scale,omitempty"`
@@ -87,6 +99,7 @@ type Plan struct {
 // make a plan non-empty).
 func (p *Plan) Empty() bool {
 	return len(p.Halts) == 0 && len(p.Derates) == 0 &&
+		len(p.ChipHalts) == 0 && len(p.ChipDerates) == 0 &&
 		(p.ExtScale == 0 || p.ExtScale == 1) &&
 		len(p.Links) == 0 && len(p.DMAs) == 0
 }
@@ -118,6 +131,29 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: core %d derated twice", d.Core)
 		}
 		seenDer[d.Core] = true
+	}
+	seenChipHalt := map[int]bool{}
+	for _, h := range p.ChipHalts {
+		if h < 0 {
+			return fmt.Errorf("fault: halt of negative chip %d", h)
+		}
+		if seenChipHalt[h] {
+			return fmt.Errorf("fault: chip %d halted twice", h)
+		}
+		seenChipHalt[h] = true
+	}
+	seenChipDer := map[int]bool{}
+	for _, d := range p.ChipDerates {
+		if d.Chip < 0 {
+			return fmt.Errorf("fault: derate of negative chip %d", d.Chip)
+		}
+		if !(d.Factor >= 1) || math.IsInf(d.Factor, 0) {
+			return fmt.Errorf("fault: derate factor %v of chip %d is not a finite value >= 1", d.Factor, d.Chip)
+		}
+		if seenChipDer[d.Chip] {
+			return fmt.Errorf("fault: chip %d derated twice", d.Chip)
+		}
+		seenChipDer[d.Chip] = true
 	}
 	if p.ExtScale != 0 && !(p.ExtScale > 0 && p.ExtScale <= 1) {
 		return fmt.Errorf("fault: ext-derate scale %v outside (0, 1]", p.ExtScale)
@@ -172,12 +208,14 @@ func checkFaultParams(kind string, rate, timeout, backoff float64, retries int) 
 // points query. All methods are safe for concurrent use (the receiver is
 // never mutated after Compile).
 type Injector struct {
-	plan     Plan
-	halted   map[int]bool
-	derate   map[int]float64
-	extScale float64
-	links    []LinkFault
-	dmas     []DMAFault
+	plan       Plan
+	halted     map[int]bool
+	derate     map[int]float64
+	chipHalted map[int]bool
+	chipDerate map[int]float64
+	extScale   float64
+	links      []LinkFault
+	dmas       []DMAFault
 }
 
 // Compile validates the plan, fills in default timeout/backoff/retry
@@ -187,10 +225,12 @@ func (p Plan) Compile() (*Injector, error) {
 		return nil, err
 	}
 	inj := &Injector{
-		plan:     p,
-		halted:   make(map[int]bool, len(p.Halts)),
-		derate:   make(map[int]float64, len(p.Derates)),
-		extScale: 1,
+		plan:       p,
+		halted:     make(map[int]bool, len(p.Halts)),
+		derate:     make(map[int]float64, len(p.Derates)),
+		chipHalted: make(map[int]bool, len(p.ChipHalts)),
+		chipDerate: make(map[int]float64, len(p.ChipDerates)),
+		extScale:   1,
 	}
 	if p.ExtScale != 0 {
 		inj.extScale = p.ExtScale
@@ -200,6 +240,12 @@ func (p Plan) Compile() (*Injector, error) {
 	}
 	for _, d := range p.Derates {
 		inj.derate[d.Core] = d.Factor
+	}
+	for _, h := range p.ChipHalts {
+		inj.chipHalted[h] = true
+	}
+	for _, d := range p.ChipDerates {
+		inj.chipDerate[d.Chip] = d.Factor
 	}
 	inj.links = append([]LinkFault(nil), p.Links...)
 	for i := range inj.links {
@@ -261,6 +307,29 @@ func (inj *Injector) HaltedCores() []int {
 // is not derated).
 func (inj *Injector) Slowdown(core int) float64 {
 	if f, ok := inj.derate[core]; ok {
+		return f
+	}
+	return 1
+}
+
+// ChipHalted reports whether the given chip of a multi-chip array is
+// hard-halted.
+func (inj *Injector) ChipHalted(chip int) bool { return inj.chipHalted[chip] }
+
+// HaltedChips returns the halted chip IDs in ascending order.
+func (inj *Injector) HaltedChips() []int {
+	out := make([]int, 0, len(inj.chipHalted))
+	for c := range inj.chipHalted {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ChipSlowdown returns the chip's frequency-derating factor (1 when the
+// chip is not derated).
+func (inj *Injector) ChipSlowdown(chip int) float64 {
+	if f, ok := inj.chipDerate[chip]; ok {
 		return f
 	}
 	return 1

@@ -14,6 +14,8 @@ import (
 //	seed 42
 //	halt 5
 //	derate 3 1.5
+//	chiphalt 2
+//	chipderate 1 1.25
 //	ext-derate 0.5
 //	link 0 1 0.1 timeout 500 backoff 64 retries 8
 //	link * 12 0.05
@@ -87,6 +89,28 @@ func parseLine(p *Plan, fields []string) error {
 			return err
 		}
 		p.Derates = append(p.Derates, Derate{Core: c, Factor: f})
+	case "chiphalt":
+		if len(args) != 1 {
+			return fmt.Errorf("chiphalt wants 1 argument, got %d", len(args))
+		}
+		c, err := parseCore(args[0], false)
+		if err != nil {
+			return err
+		}
+		p.ChipHalts = append(p.ChipHalts, c)
+	case "chipderate":
+		if len(args) != 2 {
+			return fmt.Errorf("chipderate wants <chip> <factor>, got %d arguments", len(args))
+		}
+		c, err := parseCore(args[0], false)
+		if err != nil {
+			return err
+		}
+		f, err := parseNum(args[1])
+		if err != nil {
+			return err
+		}
+		p.ChipDerates = append(p.ChipDerates, ChipDerate{Chip: c, Factor: f})
 	case "ext-derate":
 		if len(args) != 1 {
 			return fmt.Errorf("ext-derate wants 1 argument, got %d", len(args))
@@ -194,9 +218,10 @@ func parseOptions(args []string, table map[string]func(float64)) error {
 }
 
 // String renders the plan in the canonical text form: seed first, then
-// ext-derate, halts (sorted), derates (by core), link faults and DMA
-// faults in declaration order, every numeric field spelled out. Parsing
-// the output reproduces the plan (after Validate-accepted input).
+// ext-derate, halts (sorted), derates (by core), chip halts (sorted),
+// chip derates (by chip), link faults and DMA faults in declaration
+// order, every numeric field spelled out. Parsing the output reproduces
+// the plan (after Validate-accepted input).
 func (p Plan) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "seed %d\n", p.Seed)
@@ -212,6 +237,16 @@ func (p Plan) String() string {
 	sort.Slice(derates, func(i, j int) bool { return derates[i].Core < derates[j].Core })
 	for _, d := range derates {
 		fmt.Fprintf(&sb, "derate %d %s\n", d.Core, num(d.Factor))
+	}
+	chipHalts := append([]int(nil), p.ChipHalts...)
+	sort.Ints(chipHalts)
+	for _, h := range chipHalts {
+		fmt.Fprintf(&sb, "chiphalt %d\n", h)
+	}
+	chipDerates := append([]ChipDerate(nil), p.ChipDerates...)
+	sort.Slice(chipDerates, func(i, j int) bool { return chipDerates[i].Chip < chipDerates[j].Chip })
+	for _, d := range chipDerates {
+		fmt.Fprintf(&sb, "chipderate %d %s\n", d.Chip, num(d.Factor))
 	}
 	for _, l := range p.Links {
 		fmt.Fprintf(&sb, "link %s %s %s", core(l.From), core(l.To), num(l.Rate))

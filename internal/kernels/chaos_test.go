@@ -37,11 +37,11 @@ func afChaosPlan() fault.Plan {
 	}
 }
 
-// tracedChip builds a 16-core chip with a tracer attached (conform's
-// trace checks need events) and an optional fault injector.
-func tracedChip(inj *fault.Injector) *emu.Chip {
-	ch := emu.New(emu.E16G3())
-	tr := obs.NewTracer(emu.E16G3().Clock)
+// tracedChip builds a chip of the given topology with a tracer attached
+// (conform's trace checks need events) and an optional fault injector.
+func tracedChip(p emu.Params, inj *fault.Injector) *emu.Chip {
+	ch := emu.New(p)
+	tr := obs.NewTracer(p.Clock)
 	tr.SetCapacity(1 << 16)
 	ch.SetTracer(tr)
 	if inj != nil {
@@ -53,7 +53,7 @@ func tracedChip(inj *fault.Injector) *emu.Chip {
 func runChaosFFBP(t *testing.T, inj *fault.Injector) (*emu.Chip, *mat.C) {
 	t.Helper()
 	p, box, data := testSetup()
-	ch := tracedChip(inj)
+	ch := tracedChip(emu.E16G3(), inj)
 	img, _, err := ParFFBP(ch, 16, data, p, box)
 	if err != nil {
 		t.Fatal(err)
@@ -126,13 +126,71 @@ func TestChaosFFBPGolden(t *testing.T) {
 	}
 }
 
+// TestChaosFFBPAcrossTopologies runs the degraded-FFBP contract on the
+// larger topologies — the 8x8 single chip and a 2x2 eLink-bridged array,
+// the latter with a whole-chip derate on top of the core-level plan. The
+// golden retry counts are topology-specific, so here the assertions are
+// the invariants: faults cost time but never correctness, reruns are
+// bit-identical, and the conformance checker stays green.
+func TestChaosFFBPAcrossTopologies(t *testing.T) {
+	p, box, data := testSetup()
+	cases := []struct {
+		name  string
+		topo  emu.Params
+		cores int
+		plan  fault.Plan
+	}{
+		{"8x8", emu.E64(), 64, ffbpChaosPlan()},
+		{"2x2chips-of-4x4", emu.E16G3().WithChips(2, 2), 64, func() fault.Plan {
+			pl := ffbpChaosPlan()
+			pl.ChipDerates = []fault.ChipDerate{{Chip: 3, Factor: 1.5}}
+			return pl
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(inj *fault.Injector) (*emu.Chip, *mat.C) {
+				ch := tracedChip(tc.topo, inj)
+				img, _, err := ParFFBP(ch, tc.cores, data, p, box)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ch, img
+			}
+			chClean, cleanImg := run(nil)
+			chFault, faultImg := run(fault.MustCompile(tc.plan))
+			chRerun, rerunImg := run(fault.MustCompile(tc.plan))
+
+			if !faultImg.Equal(cleanImg) {
+				t.Errorf("degraded image differs from fault-free image (max diff %v)",
+					faultImg.MaxAbsDiff(cleanImg))
+			}
+			if !rerunImg.Equal(faultImg) || chRerun.MaxCycles() != chFault.MaxCycles() ||
+				!reflect.DeepEqual(chRerun.TotalStats(), chFault.TotalStats()) {
+				t.Error("faulted rerun is not bit-identical")
+			}
+			if chFault.MaxCycles() <= chClean.MaxCycles() {
+				t.Errorf("faulted run (%v cycles) not slower than clean (%v)",
+					chFault.MaxCycles(), chClean.MaxCycles())
+			}
+			remaps := chFault.Remaps()
+			if len(remaps) != 1 || remaps[0].From != 5 {
+				t.Fatalf("remaps = %+v; want exactly one remap off halted core 5", remaps)
+			}
+			if rep := conform.CheckAll(chFault); !rep.OK() {
+				t.Fatal(rep.Err())
+			}
+		})
+	}
+}
+
 // TestChaosAutofocusGolden pins the same contract for the link-heavy
 // MPMD autofocus pipeline under link faults and a dead core.
 func TestChaosAutofocusGolden(t *testing.T) {
 	pairs := testPairs(4)
 	shifts := autofocus.RangeSweep(-1.5, 1.5, 11)
 	run := func(inj *fault.Injector) (*emu.Chip, [][]float64) {
-		ch := tracedChip(inj)
+		ch := tracedChip(emu.E16G3(), inj)
 		scores, err := ParAutofocus(ch, pairs, shifts)
 		if err != nil {
 			t.Fatal(err)

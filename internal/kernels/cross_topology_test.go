@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"testing"
+
+	"sarmany/internal/autofocus"
+	"sarmany/internal/emu"
+)
+
+// TestKernelsBitIdenticalAcrossTopologies is the cross-topology identity
+// gate: ParFFBP images and ParAutofocus scores computed on the 4x4
+// E16G3, the 8x8 scale-up, a rectangular mesh and a 2x2 eLink-bridged
+// chip array must be bit-identical. Topology moves work and changes
+// timing; it must never change a single output bit, because the slot
+// partition — not the core layout — defines the arithmetic.
+func TestKernelsBitIdenticalAcrossTopologies(t *testing.T) {
+	p, box, data := testSetup()
+	pairs := testPairs(4)
+	shifts := autofocus.RangeSweep(-1.5, 1.5, 11)
+
+	topos := []struct {
+		name  string
+		p     emu.Params
+		cores int
+	}{
+		{"4x4", emu.E16G3(), 16},
+		{"8x8", emu.E64(), 64},
+		{"2x8", emu.E16G3().WithMesh(2, 8), 16},
+		{"1x2chips-of-4x4", emu.E16G3().WithChips(1, 2), 32},
+		{"2x2chips-of-4x4", emu.E16G3().WithChips(2, 2), 64},
+	}
+
+	baseCh := emu.New(topos[0].p)
+	baseImg, baseGrid, err := ParFFBP(baseCh, topos[0].cores, data, p, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseScores, err := ParAutofocus(emu.New(topos[0].p), pairs, shifts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, topo := range topos[1:] {
+		t.Run(topo.name, func(t *testing.T) {
+			ch := emu.New(topo.p)
+			img, grid, err := ParFFBP(ch, topo.cores, data, p, box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if grid != baseGrid {
+				t.Fatalf("image grid differs: %+v vs %+v", grid, baseGrid)
+			}
+			if !img.Equal(baseImg) {
+				t.Errorf("FFBP image differs from the 4x4 baseline (max diff %v)",
+					img.MaxAbsDiff(baseImg))
+			}
+			scores, err := ParAutofocus(emu.New(topo.p), pairs, shifts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range baseScores {
+				for j := range baseScores[i] {
+					if scores[i][j] != baseScores[i][j] {
+						t.Errorf("autofocus score [%d][%d] = %v, baseline %v",
+							i, j, scores[i][j], baseScores[i][j])
+					}
+				}
+			}
+		})
+	}
+}

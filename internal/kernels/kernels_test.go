@@ -14,6 +14,20 @@ import (
 	"sarmany/internal/sar"
 )
 
+// kernelTopologies are the chip configurations the parallel-kernel tests
+// sweep: the paper's 4x4 E16G3, the 8x8 single-chip scale-up, and a 2x2
+// eLink-bridged array of E16G3 chips. The kernels must produce identical
+// outputs on all of them — topology only changes timing.
+var kernelTopologies = []struct {
+	name  string
+	p     emu.Params
+	cores int
+}{
+	{"4x4", emu.E16G3(), 16},
+	{"8x8", emu.E64(), 64},
+	{"2x2chips-of-4x4", emu.E16G3().WithChips(2, 2), 64},
+}
+
 func testSetup() (sar.Params, geom.SceneBox, *mat.C) {
 	p := sar.DefaultParams()
 	p.NumPulses = 64
@@ -73,41 +87,48 @@ func TestParFFBPMatchesSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chPar := emu.New(emu.E16G3())
-	parImg, _, err := ParFFBP(chPar, 16, data, p, box)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !parImg.Equal(seqImg) {
-		t.Errorf("parallel image differs from sequential (max diff %v)", parImg.MaxAbsDiff(seqImg))
-	}
-	// The parallel implementation must actually be faster.
 	seqT := chSeq.Cores[0].Cycles()
-	parT := chPar.MaxCycles()
-	if parT >= seqT {
-		t.Errorf("parallel (%v cycles) not faster than sequential (%v)", parT, seqT)
-	}
-	// And it must have used DMA prefetch and barriers.
-	st := chPar.TotalStats()
-	if st.DMATransfers == 0 || st.BarrierWaits == 0 {
-		t.Errorf("parallel stats missing DMA/barriers: %+v", st)
+	for _, topo := range kernelTopologies {
+		t.Run(topo.name, func(t *testing.T) {
+			chPar := emu.New(topo.p)
+			parImg, _, err := ParFFBP(chPar, topo.cores, data, p, box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !parImg.Equal(seqImg) {
+				t.Errorf("parallel image differs from sequential (max diff %v)", parImg.MaxAbsDiff(seqImg))
+			}
+			// The parallel implementation must actually be faster.
+			if parT := chPar.MaxCycles(); parT >= seqT {
+				t.Errorf("parallel (%v cycles) not faster than sequential (%v)", parT, seqT)
+			}
+			// And it must have used DMA prefetch and barriers.
+			st := chPar.TotalStats()
+			if st.DMATransfers == 0 || st.BarrierWaits == 0 {
+				t.Errorf("parallel stats missing DMA/barriers: %+v", st)
+			}
+		})
 	}
 }
 
 func TestParFFBPDeterministic(t *testing.T) {
 	p, box, data := testSetup()
-	run := func() float64 {
-		ch := emu.New(emu.E16G3())
-		if _, _, err := ParFFBP(ch, 16, data, p, box); err != nil {
-			t.Fatal(err)
-		}
-		return ch.MaxCycles()
-	}
-	first := run()
-	for i := 0; i < 5; i++ {
-		if got := run(); got != first {
-			t.Fatalf("run %d: %v cycles, first %v", i, got, first)
-		}
+	for _, topo := range kernelTopologies {
+		t.Run(topo.name, func(t *testing.T) {
+			run := func() float64 {
+				ch := emu.New(topo.p)
+				if _, _, err := ParFFBP(ch, topo.cores, data, p, box); err != nil {
+					t.Fatal(err)
+				}
+				return ch.MaxCycles()
+			}
+			first := run()
+			for i := 0; i < 5; i++ {
+				if got := run(); got != first {
+					t.Fatalf("run %d: %v cycles, first %v", i, got, first)
+				}
+			}
+		})
 	}
 }
 
@@ -204,17 +225,21 @@ func TestParAutofocusMatchesSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chPar := emu.New(emu.E16G3())
-	parScores, err := ParAutofocus(chPar, pairs, shifts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range seqScores {
-		for j := range seqScores[i] {
-			if parScores[i][j] != seqScores[i][j] {
-				t.Errorf("pair %d shift %d: par %v seq %v", i, j, parScores[i][j], seqScores[i][j])
+	for _, topo := range kernelTopologies {
+		t.Run(topo.name, func(t *testing.T) {
+			chPar := emu.New(topo.p)
+			parScores, err := ParAutofocus(chPar, pairs, shifts)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			for i := range seqScores {
+				for j := range seqScores[i] {
+					if parScores[i][j] != seqScores[i][j] {
+						t.Errorf("pair %d shift %d: par %v seq %v", i, j, parScores[i][j], seqScores[i][j])
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -240,18 +265,22 @@ func TestParAutofocusPipelineSpeedup(t *testing.T) {
 func TestParAutofocusDeterministic(t *testing.T) {
 	pairs := testPairs(3)
 	shifts := autofocus.RangeSweep(-1, 1, 7)
-	run := func() float64 {
-		ch := emu.New(emu.E16G3())
-		if _, err := ParAutofocus(ch, pairs, shifts); err != nil {
-			t.Fatal(err)
-		}
-		return ch.MaxCycles()
-	}
-	first := run()
-	for i := 0; i < 5; i++ {
-		if got := run(); got != first {
-			t.Fatalf("run %d: %v cycles, first %v", i, got, first)
-		}
+	for _, topo := range kernelTopologies {
+		t.Run(topo.name, func(t *testing.T) {
+			run := func() float64 {
+				ch := emu.New(topo.p)
+				if _, err := ParAutofocus(ch, pairs, shifts); err != nil {
+					t.Fatal(err)
+				}
+				return ch.MaxCycles()
+			}
+			first := run()
+			for i := 0; i < 5; i++ {
+				if got := run(); got != first {
+					t.Fatalf("run %d: %v cycles, first %v", i, got, first)
+				}
+			}
+		})
 	}
 }
 

@@ -11,50 +11,63 @@ import (
 // off-chip bandwidth the merge phases are bandwidth-bound ("the frequent
 // off-chip memory accesses performed in the parallel FFBP implementation
 // limits the speedup"), and with ample bandwidth they become
-// compute-bound.
+// compute-bound. The story must hold on the 8x8 scale-up too — with more
+// cores sharing one SDRAM channel the nominal runs are only more
+// bandwidth-bound, and the ample factor has to grow with the core count.
 func TestFFBPPhaseNarrative(t *testing.T) {
 	p, box, data := testSetup()
+	cases := []struct {
+		name   string
+		topo   emu.Params
+		cores  int
+		ampleX float64
+	}{
+		{"4x4", emu.E16G3(), 16, 16},
+		{"8x8", emu.E64(), 64, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chN := emu.New(tc.topo)
+			if _, _, err := ParFFBP(chN, tc.cores, data, p, box); err != nil {
+				t.Fatal(err)
+			}
+			bwBound := 0
+			for _, ph := range chN.Phases() {
+				if ph.BandwidthBound {
+					bwBound++
+				}
+			}
+			if bwBound < len(chN.Phases())/2 {
+				t.Errorf("only %d of %d phases bandwidth-bound at nominal bandwidth",
+					bwBound, len(chN.Phases()))
+			}
 
-	nominal := emu.E16G3()
-	chN := emu.New(nominal)
-	if _, _, err := ParFFBP(chN, 16, data, p, box); err != nil {
-		t.Fatal(err)
-	}
-	bwBound := 0
-	for _, ph := range chN.Phases() {
-		if ph.BandwidthBound {
-			bwBound++
-		}
-	}
-	if bwBound < len(chN.Phases())/2 {
-		t.Errorf("only %d of %d phases bandwidth-bound at nominal bandwidth",
-			bwBound, len(chN.Phases()))
-	}
-
-	ample := nominal
-	ample.ExtBytesPerCycle *= 16
-	chA := emu.New(ample)
-	if _, _, err := ParFFBP(chA, 16, data, p, box); err != nil {
-		t.Fatal(err)
-	}
-	bwBound = 0
-	for _, ph := range chA.Phases() {
-		if ph.BandwidthBound {
-			bwBound++
-		}
-	}
-	if bwBound > len(chA.Phases())/2 {
-		t.Errorf("%d of %d phases still bandwidth-bound with 16x bandwidth",
-			bwBound, len(chA.Phases()))
-	}
-	// Phases are contiguous and cover the run.
-	ps := chA.Phases()
-	for i := 1; i < len(ps); i++ {
-		if ps[i].Start != ps[i-1].End {
-			t.Fatalf("phase %d not contiguous", i)
-		}
-	}
-	if last := ps[len(ps)-1].End; last != chA.MaxCycles() {
-		t.Errorf("last phase ends at %v, chip at %v", last, chA.MaxCycles())
+			ample := tc.topo
+			ample.ExtBytesPerCycle *= tc.ampleX
+			chA := emu.New(ample)
+			if _, _, err := ParFFBP(chA, tc.cores, data, p, box); err != nil {
+				t.Fatal(err)
+			}
+			bwBound = 0
+			for _, ph := range chA.Phases() {
+				if ph.BandwidthBound {
+					bwBound++
+				}
+			}
+			if bwBound > len(chA.Phases())/2 {
+				t.Errorf("%d of %d phases still bandwidth-bound with %vx bandwidth",
+					bwBound, len(chA.Phases()), tc.ampleX)
+			}
+			// Phases are contiguous and cover the run.
+			ps := chA.Phases()
+			for i := 1; i < len(ps); i++ {
+				if ps[i].Start != ps[i-1].End {
+					t.Fatalf("phase %d not contiguous", i)
+				}
+			}
+			if last := ps[len(ps)-1].End; last != chA.MaxCycles() {
+				t.Errorf("last phase ends at %v, chip at %v", last, chA.MaxCycles())
+			}
+		})
 	}
 }

@@ -7,8 +7,14 @@ import "sarmany/internal/emu"
 // expanded onto the directed physical mesh edges their traffic actually
 // crosses under the eGrid's XY (row-first) dimension-ordered routing.
 type Heatmap struct {
-	Rows int `json:"rows"`
-	Cols int `json:"cols"`
+	// Rows, Cols are the global core-grid dimensions — across every chip
+	// of a multi-chip array. ChipRows/ChipCols give the chip-array
+	// arrangement (omitted for a single chip), so consumers can draw the
+	// chip boundaries the eLink bridges sit on.
+	Rows     int `json:"rows"`
+	Cols     int `json:"cols"`
+	ChipRows int `json:"chip_rows,omitempty"`
+	ChipCols int `json:"chip_cols,omitempty"`
 
 	// CoreBusy[r*Cols+c] is the fraction of the run core (r,c) spent in
 	// committed compute windows; CoreCycles its total active cycles.
@@ -35,10 +41,13 @@ type MeshEdge struct {
 // logical link table.
 func buildHeatmap(ch *emu.Chip) Heatmap {
 	h := Heatmap{
-		Rows: ch.P.Rows, Cols: ch.P.Cols,
+		Rows: ch.P.GridRows(), Cols: ch.P.GridCols(),
 		CoreBusy:   make([]float64, ch.P.NumCores()),
 		CoreCycles: make([]float64, ch.P.NumCores()),
 		Links:      ch.LinkStats(),
+	}
+	if t := ch.Topology(); t.NumChips() > 1 {
+		h.ChipRows, h.ChipCols = t.ChipRows(), t.ChipCols()
 	}
 	run := ch.MaxCycles()
 	for i, c := range ch.Cores {

@@ -24,12 +24,16 @@ import (
 
 // Profile is the complete analysis of one traced chip run.
 type Profile struct {
-	// Rows, Cols, Cores identify the machine: mesh shape and how many
-	// cores the run used.
-	Rows    int     `json:"rows"`
-	Cols    int     `json:"cols"`
-	Cores   int     `json:"cores"`
-	ClockHz float64 `json:"clock_hz"`
+	// Rows, Cols, Cores identify the machine: the global core-grid shape
+	// (across every chip of a multi-chip array) and how many cores the
+	// run used. ChipRows/ChipCols give the chip-array arrangement and are
+	// omitted for a single chip.
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	ChipRows int     `json:"chip_rows,omitempty"`
+	ChipCols int     `json:"chip_cols,omitempty"`
+	Cores    int     `json:"cores"`
+	ClockHz  float64 `json:"clock_hz"`
 
 	// RunCycles is the modeled execution time in cycles; Seconds the same
 	// in wall time.
@@ -75,12 +79,16 @@ func AnalyzeChip(ch *emu.Chip) (*Profile, error) {
 		return nil, fmt.Errorf("profile: chip was not traced; attach an obs.Tracer before Run")
 	}
 	p := &Profile{
-		Rows: ch.P.Rows, Cols: ch.P.Cols, Cores: ch.ActiveCount(),
+		Rows: ch.P.GridRows(), Cols: ch.P.GridCols(), Cores: ch.ActiveCount(),
 		ClockHz:      ch.P.Clock,
 		RunCycles:    ch.MaxCycles(),
 		Seconds:      ch.Time(),
 		Total:        ch.TotalStats(),
 		DroppedSpans: tr.Dropped(),
+	}
+	if ch.P.NumChips() > 1 {
+		t := ch.Topology()
+		p.ChipRows, p.ChipCols = t.ChipRows(), t.ChipCols()
 	}
 	p.TotalEnergy = energy.EpiphanyBreakdown(p.Total, p.Seconds)
 	p.Phases = attributePhases(ch)

@@ -33,6 +33,25 @@ fi
 echo "checkconform: emulator changes in $range are covered by:"
 echo "$tests" | sed 's/^/  /'
 
+# Topology-model changes get a stricter gate: the mesh/array shape and
+# its cycle pricing (hop, eLink bridge, per-chip SDRAM channel) are
+# pinned by the conformance suite's exact analytic expectations, so a
+# change to the topology files must ride with a conformance test — an
+# emu unit test alone is not enough to re-pin the closed forms.
+topomodel=$(echo "$changed" | grep -E '^internal/emu/(topology|params)\.go$' || true)
+if [ -n "$topomodel" ]; then
+	conformtests=$(echo "$changed" | grep -E '^internal/conform/[^/]*_test\.go$' || true)
+	if [ -z "$conformtests" ]; then
+		echo "checkconform: topology-model files changed in $range without a conformance test:"
+		echo "$topomodel" | sed 's/^/  /'
+		echo "add or update a test under internal/conform/ (the analytic suite pins"
+		echo "mesh-distance and eLink-bridge cycle formulas exactly)"
+		exit 1
+	fi
+	echo "checkconform: topology-model changes in $range are covered by:"
+	echo "$conformtests" | sed 's/^/  /'
+fi
+
 # Fault-model changes get the same treatment: any non-test change under
 # internal/fault/ or to the emulator's fault hooks must ride with a chaos
 # or fault test, so injected costs stay pinned by goldens.
